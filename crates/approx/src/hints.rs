@@ -1,0 +1,156 @@
+//! Hint data structures (`H_R`, `H_W` and module hints).
+
+use aji_ast::Loc;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A write hint `(ℓ, p, ℓ'')`: an object allocated at `value` was written
+/// to property `prop` of an object allocated at `obj`.
+#[derive(
+    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct WriteHint {
+    /// Allocation site of the object written *to*.
+    pub obj: Loc,
+    /// The property name.
+    pub prop: String,
+    /// Allocation site of the value written.
+    pub value: Loc,
+}
+
+/// The full output of approximate interpretation.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Hints {
+    /// Read hints `H_R`: dynamic-read operation location → allocation
+    /// sites observed as results.
+    pub reads: BTreeMap<Loc, BTreeSet<Loc>>,
+    /// Write hints `H_W`.
+    pub writes: BTreeSet<WriteHint>,
+    /// Module hints: `require` call-site location → project file paths the
+    /// call resolved to at runtime.
+    pub modules: BTreeMap<Loc, BTreeSet<String>>,
+    /// Property names observed per dynamic-*write* site (the §4
+    /// non-relational alternative's raw material; unused by \[DPW\]).
+    pub write_props: BTreeMap<Loc, BTreeSet<String>>,
+    /// §6 extension: dynamic-read sites whose base was the unknown proxy
+    /// but whose key was a concrete string.
+    pub proxy_reads: BTreeMap<Loc, BTreeSet<String>>,
+}
+
+impl Hints {
+    /// Creates an empty hint set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a read hint.
+    pub fn add_read(&mut self, op: Loc, result: Loc) {
+        self.reads.entry(op).or_default().insert(result);
+    }
+
+    /// Records a write hint.
+    pub fn add_write(&mut self, obj: Loc, prop: impl Into<String>, value: Loc) {
+        self.writes.insert(WriteHint {
+            obj,
+            prop: prop.into(),
+            value,
+        });
+    }
+
+    /// Records a module hint.
+    pub fn add_module(&mut self, site: Loc, path: impl Into<String>) {
+        self.modules.entry(site).or_default().insert(path.into());
+    }
+
+    /// Records the property name observed at a dynamic-write site.
+    pub fn add_write_prop(&mut self, site: Loc, prop: impl Into<String>) {
+        self.write_props.entry(site).or_default().insert(prop.into());
+    }
+
+    /// Records a proxy-base read (§6 extension).
+    pub fn add_proxy_read(&mut self, site: Loc, prop: impl Into<String>) {
+        self.proxy_reads.entry(site).or_default().insert(prop.into());
+    }
+
+    /// Total number of primary hints: read hints, write hints and module
+    /// hints (the paper reports 0–15 036 per program). The auxiliary
+    /// `write_props`/`proxy_reads` sets are not counted: they only feed
+    /// the ablation/extension modes.
+    pub fn len(&self) -> usize {
+        self.reads.values().map(|s| s.len()).sum::<usize>()
+            + self.writes.len()
+            + self.modules.values().map(|s| s.len()).sum::<usize>()
+    }
+
+    /// Whether no hints were collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Merges another hint set into this one (used when reusing library
+    /// pre-analysis results, §6).
+    pub fn merge(&mut self, other: &Hints) {
+        for (op, locs) in &other.reads {
+            self.reads.entry(*op).or_default().extend(locs.iter().copied());
+        }
+        self.writes.extend(other.writes.iter().cloned());
+        for (site, paths) in &other.modules {
+            self.modules
+                .entry(*site)
+                .or_default()
+                .extend(paths.iter().cloned());
+        }
+        for (site, props) in &other.write_props {
+            self.write_props
+                .entry(*site)
+                .or_default()
+                .extend(props.iter().cloned());
+        }
+        for (site, props) in &other.proxy_reads {
+            self.proxy_reads
+                .entry(*site)
+                .or_default()
+                .extend(props.iter().cloned());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aji_ast::FileId;
+
+    fn loc(l: u32) -> Loc {
+        Loc::new(FileId(0), l, 1)
+    }
+
+    #[test]
+    fn counting_and_dedup() {
+        let mut h = Hints::new();
+        h.add_read(loc(1), loc(2));
+        h.add_read(loc(1), loc(2));
+        h.add_read(loc(1), loc(3));
+        h.add_write(loc(4), "get", loc(5));
+        h.add_write(loc(4), "get", loc(5));
+        h.add_module(loc(6), "lib/a.js");
+        assert_eq!(h.len(), 4);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn merge_unions() {
+        let mut a = Hints::new();
+        a.add_read(loc(1), loc(2));
+        let mut b = Hints::new();
+        b.add_read(loc(1), loc(3));
+        b.add_write(loc(4), "x", loc(5));
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.reads[&loc(1)].len(), 2);
+    }
+
+    #[test]
+    fn empty_hints() {
+        assert!(Hints::new().is_empty());
+    }
+}

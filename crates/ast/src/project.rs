@@ -1,0 +1,239 @@
+//! In-memory Node.js-style project model.
+//!
+//! The analyses in this workspace are whole-program analyses over a virtual
+//! file tree: application modules at the top level and dependencies under
+//! `node_modules/<package>/`, mirroring how the paper's benchmarks are laid
+//! out on disk. A [`Project`] owns the file contents and the metadata the
+//! experiments need (main module, test driver, vulnerability annotations).
+
+use crate::source::SourceMap;
+use std::collections::BTreeSet;
+
+/// One file of a [`Project`].
+#[derive(Debug, Clone)]
+pub struct ProjectFile {
+    /// Virtual path, e.g. `lib/app.js` or `node_modules/mixin/index.js`.
+    pub path: String,
+    /// File contents.
+    pub src: String,
+}
+
+/// Annotation marking a function in a dependency as having a known
+/// vulnerability.
+///
+/// This stands in for the CVE database the paper uses in its §5 reachability
+/// study: the experiment counts how many annotated functions are reachable
+/// in the computed call graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VulnSpec {
+    /// Identifier of the vulnerability, e.g. `CVE-SYN-0001`.
+    pub id: String,
+    /// Path of the file containing the vulnerable function.
+    pub path: String,
+    /// Name of the vulnerable function (must be a named function in that
+    /// file).
+    pub function: String,
+}
+
+/// An in-memory JavaScript project: virtual files plus experiment metadata.
+#[derive(Debug, Clone)]
+pub struct Project {
+    /// Project name (used in benchmark tables).
+    pub name: String,
+    /// All files, in insertion order.
+    pub files: Vec<ProjectFile>,
+    /// Path of the main (entry) module.
+    pub main: String,
+    /// Path of the test-driver module used to produce dynamic call graphs,
+    /// if the project ships one.
+    pub test_driver: Option<String>,
+    /// Known-vulnerability annotations for the §5 reachability study.
+    pub vulns: Vec<VulnSpec>,
+}
+
+impl Project {
+    /// Creates an empty project whose main module is `index.js`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Project {
+            name: name.into(),
+            files: Vec::new(),
+            main: "index.js".to_string(),
+            test_driver: None,
+            vulns: Vec::new(),
+        }
+    }
+
+    /// Adds a file. Paths are `/`-separated and relative to the project
+    /// root; dependency files live under `node_modules/<pkg>/`.
+    pub fn add_file(&mut self, path: impl Into<String>, src: impl Into<String>) -> &mut Self {
+        self.files.push(ProjectFile {
+            path: path.into(),
+            src: src.into(),
+        });
+        self
+    }
+
+    /// Sets the main (entry) module path.
+    pub fn with_main(mut self, path: impl Into<String>) -> Self {
+        self.main = path.into();
+        self
+    }
+
+    /// Sets the test-driver module path.
+    pub fn with_test_driver(mut self, path: impl Into<String>) -> Self {
+        self.test_driver = Some(path.into());
+        self
+    }
+
+    /// Registers a vulnerability annotation.
+    pub fn add_vuln(
+        &mut self,
+        id: impl Into<String>,
+        path: impl Into<String>,
+        function: impl Into<String>,
+    ) -> &mut Self {
+        self.vulns.push(VulnSpec {
+            id: id.into(),
+            path: path.into(),
+            function: function.into(),
+        });
+        self
+    }
+
+    /// Looks up a file by exact path.
+    pub fn file(&self, path: &str) -> Option<&ProjectFile> {
+        self.files.iter().find(|f| f.path == path)
+    }
+
+    /// Whether a path belongs to the main package (i.e. is not inside
+    /// `node_modules`). The paper measures function reachability from the
+    /// module functions of the main package.
+    pub fn is_main_package_path(path: &str) -> bool {
+        !path.starts_with("node_modules/") && !path.contains("/node_modules/")
+    }
+
+    /// Names of all packages: the main package plus every directly vendored
+    /// `node_modules` package (nested `node_modules` count too, matching
+    /// how npm trees are counted in the paper's Table 1).
+    pub fn package_names(&self) -> BTreeSet<String> {
+        let mut pkgs = BTreeSet::new();
+        pkgs.insert(self.name.clone());
+        for f in &self.files {
+            let mut rest = f.path.as_str();
+            while let Some(idx) = rest.find("node_modules/") {
+                let after = &rest[idx + "node_modules/".len()..];
+                let pkg = match after.find('/') {
+                    Some(end) => &after[..end],
+                    None => after,
+                };
+                if !pkg.is_empty() {
+                    pkgs.insert(pkg.to_string());
+                }
+                rest = after;
+            }
+        }
+        pkgs
+    }
+
+    /// Number of packages (main + dependencies).
+    pub fn package_count(&self) -> usize {
+        self.package_names().len()
+    }
+
+    /// Number of modules (files).
+    pub fn module_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Total code size in bytes.
+    pub fn code_size_bytes(&self) -> usize {
+        self.files.iter().map(|f| f.src.len()).sum()
+    }
+
+    /// Builds a [`SourceMap`] over the project's files, preserving file
+    /// order so that `FileId`s are stable for a given project.
+    pub fn source_map(&self) -> SourceMap {
+        let mut sm = SourceMap::new();
+        for f in &self.files {
+            sm.add_file(f.path.clone(), f.src.clone());
+        }
+        sm
+    }
+
+    /// Paths of all main-package modules, in file order.
+    pub fn main_package_paths(&self) -> Vec<&str> {
+        self.files
+            .iter()
+            .map(|f| f.path.as_str())
+            .filter(|p| Self::is_main_package_path(p))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Project {
+        let mut p = Project::new("myapp");
+        p.add_file("index.js", "var a = require('dep');");
+        p.add_file("lib/util.js", "module.exports = {};");
+        p.add_file("node_modules/dep/index.js", "module.exports = 1;");
+        p.add_file(
+            "node_modules/dep/node_modules/inner/index.js",
+            "module.exports = 2;",
+        );
+        p
+    }
+
+    #[test]
+    fn package_counting() {
+        let p = sample();
+        let pkgs = p.package_names();
+        assert!(pkgs.contains("myapp"));
+        assert!(pkgs.contains("dep"));
+        assert!(pkgs.contains("inner"));
+        assert_eq!(p.package_count(), 3);
+    }
+
+    #[test]
+    fn main_package_detection() {
+        assert!(Project::is_main_package_path("index.js"));
+        assert!(Project::is_main_package_path("lib/a.js"));
+        assert!(!Project::is_main_package_path("node_modules/x/index.js"));
+        assert!(!Project::is_main_package_path(
+            "pkg/node_modules/x/index.js"
+        ));
+    }
+
+    #[test]
+    fn main_package_paths_in_order() {
+        let p = sample();
+        assert_eq!(p.main_package_paths(), vec!["index.js", "lib/util.js"]);
+    }
+
+    #[test]
+    fn source_map_matches_files() {
+        let p = sample();
+        let sm = p.source_map();
+        assert_eq!(sm.len(), 4);
+        assert_eq!(sm.file(sm.find("lib/util.js").unwrap()).path, "lib/util.js");
+    }
+
+    #[test]
+    fn code_size_and_counts() {
+        let p = sample();
+        assert_eq!(p.module_count(), 4);
+        assert!(p.code_size_bytes() > 0);
+        assert!(p.file("index.js").is_some());
+        assert!(p.file("nope.js").is_none());
+    }
+
+    #[test]
+    fn vuln_annotations() {
+        let mut p = sample();
+        p.add_vuln("CVE-SYN-1", "node_modules/dep/index.js", "evil");
+        assert_eq!(p.vulns.len(), 1);
+        assert_eq!(p.vulns[0].function, "evil");
+    }
+}

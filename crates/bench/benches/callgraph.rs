@@ -1,0 +1,55 @@
+//! Criterion benchmark behind Figures 4–7: call-graph construction with
+//! and without hints across corpus size classes, measuring how the extra
+//! hint-induced dataflow scales.
+
+use aji_approx::{approximate_interpret, ApproxOptions};
+use aji_corpus::GenConfig;
+use aji_pta::{analyze, AnalysisOptions, CgMetrics};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn size_class(libs: usize, mods: usize, seed: u64) -> GenConfig {
+    GenConfig {
+        name: format!("cls-{libs}x{mods}"),
+        seed,
+        libs,
+        methods_per_lib: 10,
+        dynamic_fraction: 0.5,
+        app_modules: mods,
+        calls_per_module: 5,
+        use_mixin: false,
+        use_emitter: false,
+        driver_coverage: 0.5,
+        vulns: 0,
+        hard_dispatch_fraction: 0.0,
+    }
+}
+
+fn bench_callgraph(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4-7-callgraph");
+    g.sample_size(15);
+    for (libs, mods) in [(2usize, 2usize), (6, 6), (12, 12)] {
+        let cfg = size_class(libs, mods, 4242);
+        let project = aji_corpus::generate(&cfg);
+        let hints = approximate_interpret(&project, &ApproxOptions::default())
+            .expect("approx")
+            .hints;
+        // Sanity: hints must add edges, otherwise the benchmark measures
+        // the wrong thing.
+        let b = analyze(&project, None, &AnalysisOptions::baseline()).unwrap();
+        let x = analyze(&project, Some(&hints), &AnalysisOptions::extended()).unwrap();
+        assert!(
+            CgMetrics::of(&x.call_graph).call_edges > CgMetrics::of(&b.call_graph).call_edges
+        );
+        let label = format!("{libs}libs-{mods}mods");
+        g.bench_with_input(BenchmarkId::new("baseline", &label), &project, |b, p| {
+            b.iter(|| analyze(p, None, &AnalysisOptions::baseline()).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("extended", &label), &project, |b, p| {
+            b.iter(|| analyze(p, Some(&hints), &AnalysisOptions::extended()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_callgraph);
+criterion_main!(benches);

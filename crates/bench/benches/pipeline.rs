@@ -1,0 +1,49 @@
+//! Criterion benchmarks for the three pipeline stages of Table 3:
+//! baseline static analysis, approximate interpretation, and the extended
+//! static analysis, on representative corpus projects.
+
+use aji_approx::{approximate_interpret, ApproxOptions};
+use aji_pta::{analyze, AnalysisOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_stages(c: &mut Criterion) {
+    let small = aji_corpus::pattern_projects()
+        .into_iter()
+        .find(|p| p.name == "webframe-app")
+        .expect("webframe");
+    let medium = aji_corpus::generate(&aji_corpus::GenConfig {
+        name: "bench-medium".into(),
+        seed: 77,
+        libs: 6,
+        methods_per_lib: 10,
+        dynamic_fraction: 0.5,
+        app_modules: 6,
+        calls_per_module: 5,
+        use_mixin: true,
+        use_emitter: true,
+        driver_coverage: 0.6,
+        vulns: 0,
+        hard_dispatch_fraction: 0.0,
+    });
+
+    let mut g = c.benchmark_group("table3-stages");
+    g.sample_size(20);
+    for (label, project) in [("webframe", &small), ("generated-medium", &medium)] {
+        let hints = approximate_interpret(project, &ApproxOptions::default())
+            .expect("approx")
+            .hints;
+        g.bench_with_input(BenchmarkId::new("baseline", label), project, |b, p| {
+            b.iter(|| analyze(p, None, &AnalysisOptions::baseline()).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("approx-interp", label), project, |b, p| {
+            b.iter(|| approximate_interpret(p, &ApproxOptions::default()).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("extended", label), project, |b, p| {
+            b.iter(|| analyze(p, Some(&hints), &AnalysisOptions::extended()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

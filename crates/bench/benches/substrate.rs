@@ -1,0 +1,92 @@
+//! Criterion benchmarks of the substrates: parser throughput, concrete
+//! interpretation, and the approximate interpreter's worklist, plus the
+//! budget ablation from DESIGN.md (loop-limit vs hints produced).
+
+use aji_approx::{approximate_interpret, ApproxOptions};
+use aji_ast::{FileId, NodeIdGen};
+use aji_interp::{Interp, InterpOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_parser(c: &mut Criterion) {
+    let project = aji_corpus::generate(&aji_corpus::GenConfig {
+        name: "parse-bench".into(),
+        seed: 9,
+        libs: 10,
+        methods_per_lib: 12,
+        dynamic_fraction: 0.5,
+        app_modules: 10,
+        calls_per_module: 6,
+        use_mixin: true,
+        use_emitter: true,
+        driver_coverage: 0.5,
+        vulns: 0,
+        hard_dispatch_fraction: 0.0,
+    });
+    let total: usize = project.files.iter().map(|f| f.src.len()).sum();
+    let mut g = c.benchmark_group("substrate-parser");
+    g.throughput(Throughput::Bytes(total as u64));
+    g.bench_function("parse-project", |b| {
+        b.iter(|| {
+            let mut ids = NodeIdGen::new();
+            for (i, f) in project.files.iter().enumerate() {
+                aji_parser::parse_module(&f.src, FileId(i as u32), &mut ids).unwrap();
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let project = aji_corpus::pattern_projects()
+        .into_iter()
+        .find(|p| p.name == "webframe-app")
+        .unwrap();
+    let mut g = c.benchmark_group("substrate-interp");
+    g.sample_size(20);
+    g.bench_function("concrete-run-webframe", |b| {
+        b.iter(|| {
+            let mut interp = Interp::new(&project).unwrap();
+            interp.run_module("index.js").unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// Ablation: how the approximate interpreter's loop budget affects the
+/// number of hints (the trade-off §5 mentions but does not explore).
+fn bench_budget_ablation(c: &mut Criterion) {
+    let project = aji_corpus::generate(&aji_corpus::GenConfig {
+        name: "budget-bench".into(),
+        seed: 31,
+        libs: 6,
+        methods_per_lib: 16,
+        dynamic_fraction: 0.6,
+        app_modules: 6,
+        calls_per_module: 4,
+        use_mixin: false,
+        use_emitter: false,
+        driver_coverage: 0.5,
+        vulns: 0,
+        hard_dispatch_fraction: 0.0,
+    });
+    let mut g = c.benchmark_group("ablation-approx-budget");
+    g.sample_size(15);
+    for loop_limit in [100u64, 1_000, 10_000] {
+        let opts = ApproxOptions {
+            interp: InterpOptions {
+                max_loop_iters: loop_limit,
+                ..InterpOptions::approx_defaults()
+            },
+            ..ApproxOptions::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::new("loop-limit", loop_limit),
+            &opts,
+            |b, opts| b.iter(|| approximate_interpret(&project, opts).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parser, bench_interp, bench_budget_ablation);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Ablation study over the corpus:
+//!
+//! * \[DPW\]-only vs \[DPR\]-only vs both (the paper disables \[DPR\] for one
+//!   OOM case in Table 2);
+//! * the §4 *non-relational* alternative to \[DPW\], quantifying the
+//!   precision it loses;
+//! * the §6 proxy-read extension.
+//!
+//! Run with `cargo run --release -p aji-bench --bin ablations`.
+
+use aji_approx::{approximate_interpret, ApproxOptions};
+use aji_pta::{analyze, AnalysisOptions, CgMetrics};
+
+fn main() {
+    let projects = aji_corpus::table1_benchmarks();
+
+    let modes: Vec<(&str, AnalysisOptions)> = vec![
+        ("baseline", AnalysisOptions::baseline()),
+        (
+            "dpw-only",
+            AnalysisOptions {
+                use_read_hints: false,
+                use_module_hints: false,
+                ..AnalysisOptions::extended()
+            },
+        ),
+        (
+            "dpr-only",
+            AnalysisOptions {
+                use_write_hints: false,
+                use_module_hints: false,
+                ..AnalysisOptions::extended()
+            },
+        ),
+        ("extended", AnalysisOptions::extended()),
+        ("nonrelational", AnalysisOptions::nonrelational()),
+        ("with-proxy-reads", AnalysisOptions::with_proxy_reads()),
+    ];
+
+    println!("== Ablations over {} benchmarks ==", projects.len());
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "mode", "edges", "reach", "resolved%", "mono%", "targets/site"
+    );
+    for (name, opts) in &modes {
+        let mut edges = 0usize;
+        let mut reach = 0usize;
+        let mut resolved = 0usize;
+        let mut mono = 0usize;
+        let mut sites = 0usize;
+        for p in &projects {
+            let hints = match approximate_interpret(p, &ApproxOptions::default()) {
+                Ok(r) => r.hints,
+                Err(e) => {
+                    eprintln!("{}: {e}", p.name);
+                    continue;
+                }
+            };
+            let a = match analyze(p, Some(&hints), opts) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("{}: {e}", p.name);
+                    continue;
+                }
+            };
+            let m = CgMetrics::of(&a.call_graph);
+            edges += m.call_edges;
+            reach += m.reachable_functions;
+            resolved += m.resolved_sites;
+            mono += m.monomorphic_sites;
+            sites += m.total_sites;
+        }
+        println!(
+            "{:<18} {:>10} {:>10} {:>9.1} {:>9.1} {:>12.3}",
+            name,
+            edges,
+            reach,
+            100.0 * resolved as f64 / sites.max(1) as f64,
+            100.0 * mono as f64 / sites.max(1) as f64,
+            edges as f64 / resolved.max(1) as f64
+        );
+    }
+    println!();
+    println!("expected shape:");
+    println!("  edges:        baseline < dpw-only < extended; dpr-only adds little on its own");
+    println!("  targets/site: nonrelational > extended at equal coverage — the §4 relational");
+    println!("                rule is strictly more precise (see also aji-pta's ablation tests,");
+    println!("                where one shared write site goes from 3 to 9 edges)");
+    println!("  note: the non-relational mode only covers syntactic `o[k] = v` sites, not the");
+    println!("        defineProperty/assign natives, so its absolute edge count is lower here");
+    println!("  with-proxy-reads == extended on this corpus (no proxy-base reads with known keys)");
+}

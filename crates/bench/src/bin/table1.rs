@@ -1,0 +1,44 @@
+//! Table 1: the benchmarks with dynamic call graphs and their sizes
+//! (packages, modules, functions, code size).
+//!
+//! Run with `cargo run --release -p aji-bench --bin table1`.
+
+use aji_ast::visit::{FunctionCollector, Visit};
+
+fn main() {
+    let projects = aji_corpus::table1_benchmarks();
+    println!("== Table 1: Node.js benchmarks with dynamic call graphs ==");
+    println!(
+        "{:<22} {:>9} {:>8} {:>10} {:>10}",
+        "benchmark", "packages", "modules", "functions", "size (kB)"
+    );
+    let mut total_funcs = 0usize;
+    for p in &projects {
+        let parsed = match aji_parser::parse_project(p) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("{}: parse error: {e}", p.name);
+                continue;
+            }
+        };
+        let mut c = FunctionCollector::default();
+        for m in &parsed.modules {
+            c.visit_module(m);
+        }
+        total_funcs += c.functions.len();
+        println!(
+            "{:<22} {:>9} {:>8} {:>10} {:>10.1}",
+            p.name,
+            p.package_count(),
+            p.module_count(),
+            c.functions.len(),
+            p.code_size_bytes() as f64 / 1024.0
+        );
+    }
+    println!();
+    println!(
+        "{} benchmarks, {} function definitions in total",
+        projects.len(),
+        total_funcs
+    );
+}

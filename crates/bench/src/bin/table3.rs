@@ -1,0 +1,60 @@
+//! Table 3: running times of the baseline static analysis, approximate
+//! interpretation, and the extended static analysis, per benchmark.
+//!
+//! Run with `cargo run --release -p aji-bench --bin table3`.
+
+use aji::{run_benchmark, PipelineOptions};
+
+fn main() {
+    let projects = aji_corpus::table1_benchmarks();
+    println!("== Table 3: running times (seconds) ==");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "benchmark", "baseline", "approx", "extended"
+    );
+    let mut tb = Vec::new();
+    let mut ta = Vec::new();
+    let mut tx = Vec::new();
+    for p in &projects {
+        let report = match run_benchmark(p, &PipelineOptions::default()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}: {e}", p.name);
+                continue;
+            }
+        };
+        println!(
+            "{:<22} {:>12.4} {:>12.4} {:>12.4}",
+            p.name, report.baseline_seconds, report.approx_seconds, report.extended_seconds
+        );
+        tb.push(report.baseline_seconds);
+        ta.push(report.approx_seconds);
+        tx.push(report.extended_seconds);
+    }
+    println!();
+    println!("== Summary ==");
+    println!(
+        "totals: baseline {:.3}s, approx {:.3}s, extended {:.3}s",
+        tb.iter().sum::<f64>(),
+        ta.iter().sum::<f64>(),
+        tx.iter().sum::<f64>()
+    );
+    println!(
+        "extended/baseline time ratio avg: {:.2}x (paper: <1.1x for 76/141, >2x for 20/141)",
+        avg_ratio(&tb, &tx)
+    );
+}
+
+fn avg_ratio(base: &[f64], ext: &[f64]) -> f64 {
+    let mut rs = Vec::new();
+    for (b, x) in base.iter().zip(ext) {
+        if *b > 0.0 {
+            rs.push(x / b);
+        }
+    }
+    if rs.is_empty() {
+        0.0
+    } else {
+        rs.iter().sum::<f64>() / rs.len() as f64
+    }
+}

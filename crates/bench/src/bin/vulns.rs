@@ -1,0 +1,49 @@
+//! The §5 vulnerability reachability study: how many functions with
+//! known (synthetic) vulnerabilities in dependencies are reachable in the
+//! baseline vs extended call graphs, plus total reachable functions.
+//!
+//! Run with `cargo run --release -p aji-bench --bin vulns`.
+
+use aji::{run_benchmark, PipelineOptions};
+
+fn main() {
+    let projects = aji_corpus::table1_benchmarks();
+    println!("== Vulnerability reachability (cf. paper §5) ==");
+    println!(
+        "{:<22} {:>6} {:>10} {:>10}",
+        "benchmark", "vulns", "reachB", "reachX"
+    );
+    let mut total = 0usize;
+    let mut reach_b = 0usize;
+    let mut reach_x = 0usize;
+    let mut funcs_b = 0usize;
+    let mut funcs_x = 0usize;
+    for p in &projects {
+        let report = match run_benchmark(p, &PipelineOptions::default()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}: {e}", p.name);
+                continue;
+            }
+        };
+        funcs_b += report.baseline.reachable_functions;
+        funcs_x += report.extended.reachable_functions;
+        if let Some(v) = &report.vulns {
+            println!(
+                "{:<22} {:>6} {:>10} {:>10}",
+                p.name, v.total, v.reachable_baseline, v.reachable_extended
+            );
+            total += v.total;
+            reach_b += v.reachable_baseline;
+            reach_x += v.reachable_extended;
+        }
+    }
+    println!();
+    println!("== Summary ==");
+    println!(
+        "vulnerabilities: {total} total; reachable {reach_b} (baseline) -> {reach_x} (extended)   (paper: 447 total; 52 -> 55)"
+    );
+    println!(
+        "total reachable functions: {funcs_b} -> {funcs_x}   (paper: 42661 -> 53805)"
+    );
+}

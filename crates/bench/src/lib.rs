@@ -1,0 +1,6 @@
+//! Experiment harness for the *aji* reproduction.
+//!
+//! All functionality lives in the binaries under `src/bin/` (one per
+//! table/figure of the paper — see DESIGN.md's experiment index) and the
+//! Criterion benches under `benches/`. This library target exists only to
+//! anchor the crate.

@@ -1,0 +1,359 @@
+//! End-to-end analysis pipeline for the *aji* reproduction of *Reducing
+//! Static Analysis Unsoundness with Approximate Interpretation*
+//! (PLDI 2024).
+//!
+//! This facade ties the substrates together the way the paper's
+//! experiments do:
+//!
+//! 1. **baseline** static analysis ([`aji_pta::analyze`] without hints);
+//! 2. **approximate interpretation** ([`aji_approx::approximate_interpret`])
+//!    producing hints;
+//! 3. **extended** static analysis (hints applied via \[DPR\]/\[DPW\]);
+//! 4. optionally, a **dynamic call graph** from concretely executing the
+//!    project's test driver (the ground truth for recall/precision);
+//! 5. optionally, the **vulnerability reachability** study over the
+//!    project's annotations.
+//!
+//! # Example
+//!
+//! ```
+//! use aji::{run_benchmark, PipelineOptions};
+//! use aji_ast::Project;
+//!
+//! # fn main() -> Result<(), aji::PipelineError> {
+//! let mut project = Project::new("demo");
+//! project.add_file(
+//!     "index.js",
+//!     "var api = {};\n\
+//!      ['go'].forEach(function(m) { api[m] = function() {}; });\n\
+//!      api.go();",
+//! );
+//! let report = run_benchmark(&project, &PipelineOptions::default())?;
+//! assert!(report.extended.call_edges > report.baseline.call_edges);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+use aji_approx::{approximate_interpret, ApproxOptions, ApproxResult, Hints};
+use aji_ast::{Loc, Project};
+use aji_interp::{DynCallGraph, Interp, InterpOptions};
+use aji_pta::{analyze, Accuracy, Analysis, AnalysisOptions, CgMetrics};
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::rc::Rc;
+use std::time::Instant;
+
+pub use aji_approx::ApproxStats;
+pub use aji_pta::CallGraph;
+
+/// Errors from the pipeline.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// A project file failed to parse.
+    Parse(aji_parser::ParseError),
+    /// The dynamic call-graph run failed in a way that prevents any
+    /// measurement (the driver itself could not start).
+    Dynamic(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Parse(e) => write!(f, "parse error: {e}"),
+            PipelineError::Dynamic(m) => write!(f, "dynamic analysis error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<aji_parser::ParseError> for PipelineError {
+    fn from(e: aji_parser::ParseError) -> Self {
+        PipelineError::Parse(e)
+    }
+}
+
+/// Options for [`run_benchmark`].
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// Pre-analysis options.
+    pub approx: ApproxOptions,
+    /// Hint rules applied in the extended analysis.
+    pub analysis: AnalysisOptions,
+    /// Produce a dynamic call graph by running the project's test driver
+    /// (or main module) concretely, and compute recall/precision.
+    pub dynamic_cg: bool,
+    /// Interpreter options for the dynamic-call-graph run.
+    pub dynamic_interp: InterpOptions,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            approx: ApproxOptions::default(),
+            analysis: AnalysisOptions::extended(),
+            dynamic_cg: false,
+            dynamic_interp: InterpOptions::default(),
+        }
+    }
+}
+
+impl PipelineOptions {
+    /// Options that also produce a dynamic call graph.
+    pub fn with_dynamic_cg() -> Self {
+        PipelineOptions {
+            dynamic_cg: true,
+            ..PipelineOptions::default()
+        }
+    }
+}
+
+/// Accuracy of one analysis against the dynamic call graph.
+#[derive(Debug, Clone)]
+pub struct AccuracyPair {
+    /// Baseline recall/precision.
+    pub baseline: Accuracy,
+    /// Extended recall/precision.
+    pub extended: Accuracy,
+    /// Number of dynamic call edges.
+    pub dynamic_edges: usize,
+}
+
+/// Result of the vulnerability reachability study (§5).
+#[derive(Debug, Clone, Default)]
+pub struct VulnReport {
+    /// Total annotated vulnerabilities.
+    pub total: usize,
+    /// Vulnerable functions reachable in the baseline call graph.
+    pub reachable_baseline: usize,
+    /// Vulnerable functions reachable in the extended call graph.
+    pub reachable_extended: usize,
+}
+
+/// Everything the experiments need about one benchmark run.
+#[derive(Debug)]
+pub struct BenchmarkReport {
+    /// Project name.
+    pub name: String,
+    /// Baseline call-graph metrics.
+    pub baseline: CgMetrics,
+    /// Extended call-graph metrics.
+    pub extended: CgMetrics,
+    /// Baseline static-analysis time (seconds) — Table 3 column 1.
+    pub baseline_seconds: f64,
+    /// Approximate-interpretation time (seconds) — Table 3 column 2.
+    pub approx_seconds: f64,
+    /// Extended static-analysis time (seconds) — Table 3 column 3.
+    pub extended_seconds: f64,
+    /// Number of hints produced.
+    pub hint_count: usize,
+    /// Pre-analysis statistics (function coverage etc.).
+    pub approx_stats: ApproxStats,
+    /// Recall/precision, when a dynamic call graph was produced.
+    pub accuracy: Option<AccuracyPair>,
+    /// Vulnerability reachability, when the project has annotations.
+    pub vulns: Option<VulnReport>,
+    /// The extended analysis' call graph (for further inspection).
+    pub extended_call_graph: CallGraph,
+    /// The baseline analysis' call graph.
+    pub baseline_call_graph: CallGraph,
+    /// The hints (for reuse across projects, §6).
+    pub hints: Hints,
+}
+
+/// Runs the full experiment pipeline on one project.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Parse`] if the project does not parse.
+/// Runtime failures inside the dynamic runs degrade gracefully (partial
+/// dynamic call graphs are still used, as the paper's test-suite-based
+/// dynamic call graphs are also partial).
+pub fn run_benchmark(
+    project: &Project,
+    opts: &PipelineOptions,
+) -> Result<BenchmarkReport, PipelineError> {
+    // 1. Baseline.
+    let t0 = Instant::now();
+    let baseline_analysis = analyze(project, None, &AnalysisOptions::baseline())?;
+    let baseline_seconds = t0.elapsed().as_secs_f64();
+
+    // 2. Approximate interpretation.
+    let t1 = Instant::now();
+    let approx: ApproxResult = approximate_interpret(project, &opts.approx)?;
+    let approx_seconds = t1.elapsed().as_secs_f64();
+
+    // 3. Extended analysis.
+    let t2 = Instant::now();
+    let extended_analysis = analyze(project, Some(&approx.hints), &opts.analysis)?;
+    let extended_seconds = t2.elapsed().as_secs_f64();
+
+    // 4. Dynamic call graph (optional).
+    let accuracy = if opts.dynamic_cg {
+        dynamic_call_graph(project, &opts.dynamic_interp).map(|dyn_edges| AccuracyPair {
+            baseline: Accuracy::compare(&baseline_analysis.call_graph, &dyn_edges),
+            extended: Accuracy::compare(&extended_analysis.call_graph, &dyn_edges),
+            dynamic_edges: dyn_edges.len(),
+        })
+    } else {
+        None
+    };
+
+    // 5. Vulnerability reachability (optional).
+    let vulns = if project.vulns.is_empty() {
+        None
+    } else {
+        Some(vuln_reachability(
+            project,
+            &baseline_analysis,
+            &extended_analysis,
+        )?)
+    };
+
+    Ok(BenchmarkReport {
+        name: project.name.clone(),
+        baseline: CgMetrics::of(&baseline_analysis.call_graph),
+        extended: CgMetrics::of(&extended_analysis.call_graph),
+        baseline_seconds,
+        approx_seconds,
+        extended_seconds,
+        hint_count: approx.hints.len(),
+        approx_stats: approx.stats,
+        accuracy,
+        vulns,
+        extended_call_graph: extended_analysis.call_graph,
+        baseline_call_graph: baseline_analysis.call_graph,
+        hints: approx.hints,
+    })
+}
+
+/// Produces the dynamic call graph of a project by concretely executing
+/// its test driver (or, failing that, its main module). Returns `None`
+/// only when the interpreter cannot even be constructed.
+pub fn dynamic_call_graph(
+    project: &Project,
+    interp_opts: &InterpOptions,
+) -> Option<BTreeSet<(Loc, Loc)>> {
+    let recorder = Rc::new(RefCell::new(DynCallGraph::new()));
+    let mut interp =
+        Interp::with_options(project, interp_opts.clone(), Box::new(recorder.clone())).ok()?;
+    let driver = project
+        .test_driver
+        .clone()
+        .unwrap_or_else(|| project.main.clone());
+    // A crashing driver still leaves a partial call graph — keep it, like
+    // the paper keeps partially-covering test suites.
+    let _ = interp.run_module(&driver);
+    let edges = recorder
+        .borrow()
+        .edges
+        .iter()
+        .map(|e| (e.call_site, e.callee))
+        .collect();
+    Some(edges)
+}
+
+/// Computes §5's vulnerability reachability: how many annotated functions
+/// are reachable in each call graph.
+fn vuln_reachability(
+    project: &Project,
+    baseline: &Analysis,
+    extended: &Analysis,
+) -> Result<VulnReport, PipelineError> {
+    let locs = vuln_function_locs(project)?;
+    let mut report = VulnReport {
+        total: project.vulns.len(),
+        ..VulnReport::default()
+    };
+    for loc in locs.iter().flatten() {
+        if baseline.call_graph.reachable_functions.contains(loc) {
+            report.reachable_baseline += 1;
+        }
+        if extended.call_graph.reachable_functions.contains(loc) {
+            report.reachable_extended += 1;
+        }
+    }
+    Ok(report)
+}
+
+/// Resolves each vulnerability annotation to the location of the named
+/// function in the named file (`None` when not found).
+pub fn vuln_function_locs(project: &Project) -> Result<Vec<Option<Loc>>, PipelineError> {
+    use aji_ast::visit::{FunctionCollector, Visit};
+    let parsed = aji_parser::parse_project(project)?;
+    let mut out = Vec::with_capacity(project.vulns.len());
+    for v in &project.vulns {
+        let Some(file_idx) = project.files.iter().position(|f| f.path == v.path) else {
+            out.push(None);
+            continue;
+        };
+        let mut c = FunctionCollector::default();
+        c.visit_module(&parsed.modules[file_idx]);
+        let loc = c
+            .functions
+            .iter()
+            .find(|(_, _, name)| name.as_deref() == Some(v.function.as_str()))
+            .map(|(_, span, _)| parsed.source_map.loc(*span));
+        out.push(loc);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_on_method_table() {
+        let mut p = Project::new("demo");
+        p.add_file(
+            "index.js",
+            "var api = {};\n\
+             ['a', 'b'].forEach(function(m) { api[m] = function() {}; });\n\
+             api.a();\n\
+             api.b();",
+        );
+        let r = run_benchmark(&p, &PipelineOptions::default()).unwrap();
+        assert!(r.extended.call_edges > r.baseline.call_edges);
+        assert!(r.hint_count >= 2);
+        assert!(r.approx_seconds >= 0.0);
+    }
+
+    #[test]
+    fn pipeline_with_dynamic_cg() {
+        let mut p = Project::new("demo");
+        p.add_file(
+            "index.js",
+            "var t = { run: function() { helper(); } };\n\
+             function helper() {}\n\
+             var k = 'run';\n\
+             t[k]();",
+        );
+        p.test_driver = Some("index.js".to_string());
+        let r = run_benchmark(&p, &PipelineOptions::with_dynamic_cg()).unwrap();
+        let acc = r.accuracy.expect("dynamic cg");
+        assert!(acc.dynamic_edges >= 2);
+        assert!(acc.extended.recall_pct() >= acc.baseline.recall_pct());
+    }
+
+    #[test]
+    fn pipeline_with_vulns() {
+        let mut p = Project::new("demo");
+        p.add_file("index.js", "var d = require('dep');\nd.used();");
+        p.add_file(
+            "node_modules/dep/index.js",
+            "exports.used = function used() {};\n\
+             exports.unused = function unusedVuln() {};",
+        );
+        p.add_vuln("CVE-SYN-1", "node_modules/dep/index.js", "used");
+        p.add_vuln("CVE-SYN-2", "node_modules/dep/index.js", "unusedVuln");
+        let r = run_benchmark(&p, &PipelineOptions::default()).unwrap();
+        let v = r.vulns.expect("vuln report");
+        assert_eq!(v.total, 2);
+        assert_eq!(v.reachable_baseline, 1);
+        assert_eq!(v.reachable_extended, 1);
+    }
+}

@@ -1,0 +1,391 @@
+//! Seeded synthetic-project generator.
+//!
+//! Composes the dynamic-object idioms of the hand-written patterns
+//! (method tables built in loops, mixin copying, event registries,
+//! dynamic dispatch) into Node.js-style projects of parameterized size,
+//! so the experiment harness can reproduce the paper's 141-project
+//! population deterministically.
+
+use aji_ast::Project;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt::Write;
+
+/// Parameters of one generated project.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Project name.
+    pub name: String,
+    /// RNG seed (projects are fully determined by their config).
+    pub seed: u64,
+    /// Number of `node_modules` libraries.
+    pub libs: usize,
+    /// API methods per library.
+    pub methods_per_lib: usize,
+    /// Fraction of methods installed via dynamic property writes.
+    pub dynamic_fraction: f64,
+    /// Number of application modules.
+    pub app_modules: usize,
+    /// API calls per application module.
+    pub calls_per_module: usize,
+    /// Whether libraries assemble their API through a mixin helper.
+    pub use_mixin: bool,
+    /// Whether libraries inherit from `EventEmitter`.
+    pub use_emitter: bool,
+    /// Fraction of application entry points exercised by the test driver.
+    pub driver_coverage: f64,
+    /// Number of synthetic vulnerability annotations placed in libraries.
+    pub vulns: usize,
+    /// Fraction of app modules that expose a *parameter-dependent*
+    /// dispatch (`lib[name](...)` with the name coming from the caller).
+    /// These defeat approximate interpretation — the key is the proxy
+    /// during forced execution — and keep recall below 100%, like the
+    /// hard cases in the paper's Table 2.
+    pub hard_dispatch_fraction: f64,
+}
+
+impl GenConfig {
+    /// A small default configuration.
+    pub fn small(name: impl Into<String>, seed: u64) -> Self {
+        GenConfig {
+            name: name.into(),
+            seed,
+            libs: 2,
+            methods_per_lib: 4,
+            dynamic_fraction: 0.5,
+            app_modules: 2,
+            calls_per_module: 4,
+            use_mixin: false,
+            use_emitter: false,
+            driver_coverage: 0.6,
+            vulns: 1,
+            hard_dispatch_fraction: 0.0,
+        }
+    }
+}
+
+/// Generates a project from a configuration. Identical configs produce
+/// identical projects.
+pub fn generate(cfg: &GenConfig) -> Project {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xA11CE);
+    let mut p = Project::new(cfg.name.clone());
+    p.test_driver = Some("test/driver.js".to_string());
+
+    if cfg.use_mixin {
+        p.add_file(
+            "node_modules/mixlib/index.js",
+            "module.exports = function mix(dest, src) {\n\
+             \x20 Object.getOwnPropertyNames(src).forEach(function(name) {\n\
+             \x20   var d = Object.getOwnPropertyDescriptor(src, name);\n\
+             \x20   Object.defineProperty(dest, name, d);\n\
+             \x20 });\n\
+             \x20 return dest;\n\
+             };\n",
+        );
+    }
+
+    // Libraries.
+    let mut lib_methods: Vec<Vec<(String, bool)>> = Vec::new(); // (method, dynamic?)
+    for li in 0..cfg.libs {
+        let mut src = String::new();
+        let mut methods = Vec::new();
+        let n_dynamic = ((cfg.methods_per_lib as f64) * cfg.dynamic_fraction).round() as usize;
+        let emitter = cfg.use_emitter && li % 2 == 0;
+
+        let mut dyn_names = Vec::new();
+        for mi in 0..cfg.methods_per_lib {
+            let name = format!("op{mi}");
+            let dynamic = mi < n_dynamic;
+            if dynamic {
+                dyn_names.push(name.clone());
+            }
+            methods.push((name, dynamic));
+        }
+
+        if emitter {
+            let _ = writeln!(src, "var EventEmitter = require('events');");
+        }
+        if cfg.use_mixin {
+            let _ = writeln!(src, "var mix = require('mixlib');");
+        }
+        let _ = writeln!(
+            src,
+            "var DYN_{li} = [{}];",
+            dyn_names
+                .iter()
+                .map(|n| format!("'{n}'"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let _ = writeln!(src, "var state{li} = {{ calls: 0 }};");
+        let _ = writeln!(src, "function track{li}(tag) {{");
+        let _ = writeln!(src, "  state{li}.calls = state{li}.calls + 1;");
+        let _ = writeln!(src, "  return tag + ':' + state{li}.calls;");
+        let _ = writeln!(src, "}}");
+        // A factory whose inner function only exists on a branch that
+        // forced execution cannot take (the guard fails on the proxy),
+        // keeping pre-analysis coverage below 100%.
+        let _ = writeln!(src, "function makeFormatter{li}(sep) {{");
+        let _ = writeln!(src, "  if (typeof sep === 'string') {{");
+        let _ = writeln!(src, "    return function hiddenFormatter{li}(parts) {{");
+        let _ = writeln!(src, "      return parts.join(sep);");
+        let _ = writeln!(src, "    }};");
+        let _ = writeln!(src, "  }}");
+        let _ = writeln!(src, "  return null;");
+        let _ = writeln!(src, "}}");
+
+        if cfg.use_mixin {
+            // API assembled on a proto object, mixed into an exported
+            // factory product (the webframe pattern).
+            let _ = writeln!(src, "var proto{li} = {{}};");
+            for (name, dynamic) in &methods {
+                if !dynamic {
+                    let _ = writeln!(
+                        src,
+                        "proto{li}.{name} = function lib{li}_{name}(x) {{ return track{li}('{name}') + x; }};"
+                    );
+                }
+            }
+            let _ = writeln!(src, "DYN_{li}.forEach(function(name) {{");
+            let _ = writeln!(
+                src,
+                "  proto{li}[name] = function lib{li}_dyn(x) {{ return track{li}(name) + x; }};"
+            );
+            let _ = writeln!(src, "}});");
+            let _ = writeln!(src, "module.exports = function create{li}() {{");
+            let _ = writeln!(src, "  var api = function() {{ return state{li}; }};");
+            if emitter {
+                let _ = writeln!(src, "  mix(api, EventEmitter.prototype);");
+            }
+            let _ = writeln!(src, "  mix(api, proto{li});");
+            let _ = writeln!(src, "  return api;");
+            let _ = writeln!(src, "}};");
+        } else {
+            let _ = writeln!(src, "var api{li} = {{}};");
+            for (name, dynamic) in &methods {
+                if !dynamic {
+                    let _ = writeln!(
+                        src,
+                        "api{li}.{name} = function lib{li}_{name}(x) {{ return track{li}('{name}') + x; }};"
+                    );
+                }
+            }
+            let _ = writeln!(src, "DYN_{li}.forEach(function(name) {{");
+            let _ = writeln!(
+                src,
+                "  api{li}[name] = function lib{li}_dyn(x) {{ return track{li}(name) + x; }};"
+            );
+            let _ = writeln!(src, "}});");
+            if emitter {
+                let _ = writeln!(src, "api{li}.events = new EventEmitter();");
+            }
+            let _ = writeln!(src, "module.exports = api{li};");
+        }
+        p.add_file(format!("node_modules/lib{li}/index.js"), src);
+        lib_methods.push(methods);
+    }
+
+    // Application modules.
+    let mut entry_points: Vec<(usize, String)> = Vec::new();
+    let mut dispatchers: Vec<(usize, usize)> = Vec::new();
+    for ai in 0..cfg.app_modules {
+        let mut src = String::new();
+        // Each app module uses 1-3 libraries.
+        let nlibs = 1 + rng.random_range(0..cfg.libs.min(3));
+        let mut used = Vec::new();
+        for _ in 0..nlibs {
+            let li = rng.random_range(0..cfg.libs);
+            if !used.contains(&li) {
+                used.push(li);
+            }
+        }
+        for li in &used {
+            let _ = writeln!(src, "var lib{li} = require('lib{li}');");
+            if cfg.use_mixin {
+                let _ = writeln!(src, "var api{li} = lib{li}();");
+            }
+        }
+        let _ = writeln!(src, "exports.run{ai} = function appRun{ai}() {{");
+        let _ = writeln!(src, "  var out = [];");
+        for _ in 0..cfg.calls_per_module {
+            let li = used[rng.random_range(0..used.len())];
+            let (m, _) = &lib_methods[li][rng.random_range(0..lib_methods[li].len())];
+            let recv = if cfg.use_mixin {
+                format!("api{li}")
+            } else {
+                format!("lib{li}")
+            };
+            let _ = writeln!(src, "  out.push({recv}.{m}('a{ai}'));");
+        }
+        let _ = writeln!(src, "  return out;");
+        let _ = writeln!(src, "}};");
+        // A helper that is only reachable through the module's entry.
+        let _ = writeln!(src, "exports.describe{ai} = function describe{ai}() {{");
+        let _ = writeln!(src, "  return 'module {ai}';");
+        let _ = writeln!(src, "}};");
+        // Hard case: a dispatch whose property key comes from the caller.
+        let hard = (rng.random_range(0..1000) as f64) < cfg.hard_dispatch_fraction * 1000.0;
+        if hard {
+            let li = used[0];
+            let recv = if cfg.use_mixin {
+                format!("api{li}")
+            } else {
+                format!("lib{li}")
+            };
+            let _ = writeln!(src, "exports.dispatch{ai} = function dispatch{ai}(name, arg) {{");
+            let _ = writeln!(src, "  return {recv}[name](arg);");
+            let _ = writeln!(src, "}};");
+            dispatchers.push((ai, li));
+        }
+        p.add_file(format!("lib/mod{ai}.js"), src);
+        entry_points.push((ai, format!("run{ai}")));
+    }
+
+    // Main module.
+    let mut main = String::new();
+    for (ai, _) in &entry_points {
+        let _ = writeln!(main, "var mod{ai} = require('./lib/mod{ai}');");
+    }
+    let _ = writeln!(main, "exports.start = function start() {{");
+    for (ai, entry) in &entry_points {
+        let _ = writeln!(main, "  mod{ai}.{entry}();");
+    }
+    let _ = writeln!(main, "  return 'ok';");
+    let _ = writeln!(main, "}};");
+    // Run a couple of modules at load time, too.
+    if let Some((ai, entry)) = entry_points.first() {
+        let _ = writeln!(main, "mod{ai}.{entry}();");
+    }
+    p.add_file("index.js", main);
+
+    // Test driver: exercises a fraction of the entry points.
+    let mut driver = String::new();
+    let _ = writeln!(driver, "var app = require('../index');");
+    let covered = ((entry_points.len() as f64) * cfg.driver_coverage).ceil() as usize;
+    for (ai, entry) in entry_points.iter().take(covered.max(1)) {
+        let _ = writeln!(driver, "var m{ai} = require('../lib/mod{ai}');");
+        let _ = writeln!(driver, "m{ai}.{entry}();");
+    }
+    // Exercise the hard dispatchers with concrete method names: the
+    // dynamic call graph gets these edges, the hint-based analysis cannot.
+    for (ai, li) in &dispatchers {
+        let (m, _) = &lib_methods[*li][rng.random_range(0..lib_methods[*li].len())];
+        let _ = writeln!(driver, "var d{ai} = require('../lib/mod{ai}');");
+        let _ = writeln!(driver, "d{ai}.dispatch{ai}('{m}', 'probe');");
+    }
+    p.add_file("test/driver.js", driver);
+
+    // Vulnerability annotations on library track helpers.
+    for vi in 0..cfg.vulns.min(cfg.libs) {
+        p.add_vuln(
+            format!("CVE-GEN-{:04}", cfg.seed % 10_000 + vi as u64),
+            format!("node_modules/lib{vi}/index.js"),
+            format!("track{vi}"),
+        );
+    }
+    p
+}
+
+/// The deterministic configurations of the generated share of the
+/// 141-project population (the hand-written patterns provide the rest).
+pub fn population_configs(count: usize, base_seed: u64) -> Vec<GenConfig> {
+    let mut rng = StdRng::seed_from_u64(base_seed);
+    (0..count)
+        .map(|i| {
+            let size_class = i % 4;
+            let (libs, methods, mods) = match size_class {
+                0 => (2, 4, 2),
+                1 => (4, 8, 4),
+                2 => (7, 12, 8),
+                _ => (12, 16, 14),
+            };
+            GenConfig {
+                name: format!("gen-{i:03}"),
+                seed: base_seed.wrapping_add(i as u64 * 7919),
+                libs: libs + rng.random_range(0..3),
+                methods_per_lib: methods + rng.random_range(0..5),
+                dynamic_fraction: 0.3 + rng.random_range(0..5) as f64 * 0.1,
+                app_modules: mods + rng.random_range(0..3),
+                calls_per_module: 3 + rng.random_range(0..5),
+                use_mixin: i % 3 == 0,
+                use_emitter: i % 4 == 1,
+                driver_coverage: 0.4 + rng.random_range(0..5) as f64 * 0.1,
+                vulns: rng.random_range(0..4),
+                hard_dispatch_fraction: match i % 5 {
+                    0 => 0.0,
+                    1 => 0.15,
+                    2 => 0.3,
+                    3 => 0.5,
+                    _ => 0.05,
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::small("det", 42);
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.files.len(), b.files.len());
+        for (fa, fb) in a.files.iter().zip(&b.files) {
+            assert_eq!(fa.path, fb.path);
+            assert_eq!(fa.src, fb.src);
+        }
+    }
+
+    #[test]
+    fn generated_projects_parse() {
+        for (i, cfg) in population_configs(8, 1234).iter().enumerate() {
+            let p = generate(cfg);
+            aji_parser::parse_project(&p)
+                .unwrap_or_else(|e| panic!("config {i} failed to parse: {e}"));
+        }
+    }
+
+    #[test]
+    fn mixin_variant_parses() {
+        let mut cfg = GenConfig::small("mix", 7);
+        cfg.use_mixin = true;
+        cfg.use_emitter = true;
+        let p = generate(&cfg);
+        aji_parser::parse_project(&p).unwrap();
+        assert!(p.file("node_modules/mixlib/index.js").is_some());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&GenConfig::small("a", 1));
+        let b = generate(&GenConfig::small("b", 2));
+        let sa: String = a.files.iter().map(|f| f.src.clone()).collect();
+        let sb: String = b.files.iter().map(|f| f.src.clone()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn population_sizes_vary() {
+        let cfgs = population_configs(12, 99);
+        let min = cfgs.iter().map(|c| c.libs).min().unwrap();
+        let max = cfgs.iter().map(|c| c.libs).max().unwrap();
+        assert!(max > min);
+    }
+
+    #[test]
+    fn driver_exists_and_vulns_valid() {
+        let cfg = GenConfig {
+            vulns: 2,
+            ..GenConfig::small("v", 5)
+        };
+        let p = generate(&cfg);
+        assert!(p.file("test/driver.js").is_some());
+        for v in &p.vulns {
+            assert!(p.file(&v.path).is_some());
+            assert!(p.file(&v.path).unwrap().src.contains(&v.function));
+        }
+    }
+}

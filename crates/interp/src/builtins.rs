@@ -1,0 +1,2464 @@
+//! Built-in globals: `Object`, `Array`, `Function.prototype`, string and
+//! number methods, `Math`, `JSON`, errors, `console`, timers, `process`,
+//! and the sandboxed Node.js module mocks.
+//!
+//! Per §3 of the paper, the `Object.create` / `Object.defineProperty` /
+//! `Object.defineProperties` / `Object.assign` natives are modeled as
+//! object constructions and dynamic property writes, feeding the same
+//! tracer events as the corresponding language constructs. Node.js
+//! functions that interact with the outside world are replaced by mocks
+//! that invoke any callback arguments and return the unknown-value proxy.
+
+use crate::error::JsError;
+use crate::heap::{ObjKind, Prop, PropValue};
+use crate::machine::Interp;
+use crate::value::{ObjId, Value};
+use std::rc::Rc;
+
+/// Signature of a native function: `(interp, self-object, this, args)`.
+pub type NativeFn = fn(&mut Interp, ObjId, Value, &[Value]) -> Result<Value, JsError>;
+
+/// An entry in the native registry.
+#[derive(Clone, Copy)]
+pub struct NativeEntry {
+    /// Diagnostic name.
+    pub name: &'static str,
+    /// Implementation.
+    pub f: NativeFn,
+}
+
+impl std::fmt::Debug for NativeEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NativeEntry({})", self.name)
+    }
+}
+
+/// Index of the native named `name` in the registry, registering it on
+/// first use.
+///
+/// # Panics
+///
+/// Panics if `name` is not a known native.
+pub fn native_id(interp: &mut Interp, name: &str) -> u32 {
+    if let Some(i) = interp.natives.iter().position(|e| e.name == name) {
+        return i as u32;
+    }
+    let entry = NATIVE_TABLE
+        .iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("unknown native `{name}`"));
+    interp.natives.push(NativeEntry {
+        name: entry.0,
+        f: entry.1,
+    });
+    (interp.natives.len() - 1) as u32
+}
+
+/// Creates a function object for the named native.
+pub fn make_native(interp: &mut Interp, name: &str) -> Value {
+    let id = native_id(interp, name);
+    let obj = interp.heap.alloc(ObjKind::Native(id));
+    let fproto = interp.protos.function;
+    interp.heap.get_mut(obj).proto = Some(fproto);
+    interp
+        .heap
+        .get_mut(obj)
+        .props
+        .insert(Rc::from("name"), Prop::hidden(Value::str(name)));
+    Value::Obj(obj)
+}
+
+fn set_method(interp: &mut Interp, target: ObjId, prop: &str, native: &'static str) {
+    let f = make_native(interp, native);
+    interp
+        .heap
+        .get_mut(target)
+        .props
+        .insert(Rc::from(prop), Prop::hidden(f));
+}
+
+fn set_hidden(interp: &mut Interp, target: ObjId, prop: &str, v: Value) {
+    interp
+        .heap
+        .get_mut(target)
+        .props
+        .insert(Rc::from(prop), Prop::hidden(v));
+}
+
+fn bind_global(interp: &mut Interp, name: &str, v: Value) {
+    interp.global_scope.borrow_mut().declare(name, v.clone());
+    set_hidden(interp, interp.global_obj, name, v);
+}
+
+/// Installs all globals into a freshly created interpreter.
+pub fn install(interp: &mut Interp) {
+    // Prototypes first (everything links to them).
+    let object_proto = interp.heap.alloc(ObjKind::Plain);
+    let function_proto = interp.heap.alloc(ObjKind::Plain);
+    interp.heap.get_mut(function_proto).proto = Some(object_proto);
+    let array_proto = interp.heap.alloc(ObjKind::Plain);
+    interp.heap.get_mut(array_proto).proto = Some(object_proto);
+    let string_proto = interp.heap.alloc(ObjKind::Plain);
+    interp.heap.get_mut(string_proto).proto = Some(object_proto);
+    let number_proto = interp.heap.alloc(ObjKind::Plain);
+    interp.heap.get_mut(number_proto).proto = Some(object_proto);
+    let boolean_proto = interp.heap.alloc(ObjKind::Plain);
+    interp.heap.get_mut(boolean_proto).proto = Some(object_proto);
+    let error_proto = interp.heap.alloc(ObjKind::Plain);
+    interp.heap.get_mut(error_proto).proto = Some(object_proto);
+    let regexp_proto = interp.heap.alloc(ObjKind::Plain);
+    interp.heap.get_mut(regexp_proto).proto = Some(object_proto);
+    let promise_proto = interp.heap.alloc(ObjKind::Plain);
+    interp.heap.get_mut(promise_proto).proto = Some(object_proto);
+    interp.protos = crate::machine::Protos {
+        object: object_proto,
+        function: function_proto,
+        array: array_proto,
+        string: string_proto,
+        number: number_proto,
+        boolean: boolean_proto,
+        error: error_proto,
+        regexp: regexp_proto,
+        promise: promise_proto,
+    };
+    interp.heap.get_mut(interp.global_obj).proto = Some(object_proto);
+
+    // Object.prototype.
+    set_method(interp, object_proto, "hasOwnProperty", "object_has_own");
+    set_method(interp, object_proto, "toString", "object_to_string");
+    set_method(interp, object_proto, "valueOf", "identity_this");
+    set_method(interp, object_proto, "isPrototypeOf", "object_is_prototype_of");
+    set_method(
+        interp,
+        object_proto,
+        "propertyIsEnumerable",
+        "object_prop_is_enumerable",
+    );
+
+    // Function.prototype.
+    set_method(interp, function_proto, "call", "function_call");
+    set_method(interp, function_proto, "apply", "function_apply");
+    set_method(interp, function_proto, "bind", "function_bind");
+    set_method(interp, function_proto, "toString", "function_to_string");
+
+    // Array.prototype.
+    for (prop, native) in [
+        ("push", "array_push"),
+        ("pop", "array_pop"),
+        ("shift", "array_shift"),
+        ("unshift", "array_unshift"),
+        ("slice", "array_slice"),
+        ("splice", "array_splice"),
+        ("concat", "array_concat"),
+        ("join", "array_join"),
+        ("indexOf", "array_index_of"),
+        ("lastIndexOf", "array_last_index_of"),
+        ("includes", "array_includes"),
+        ("forEach", "array_for_each"),
+        ("map", "array_map"),
+        ("filter", "array_filter"),
+        ("reduce", "array_reduce"),
+        ("reduceRight", "array_reduce_right"),
+        ("some", "array_some"),
+        ("every", "array_every"),
+        ("find", "array_find"),
+        ("findIndex", "array_find_index"),
+        ("sort", "array_sort"),
+        ("reverse", "array_reverse"),
+        ("fill", "array_fill"),
+        ("flat", "array_flat"),
+        ("toString", "array_to_string"),
+    ] {
+        set_method(interp, array_proto, prop, native);
+    }
+
+    // String.prototype.
+    for (prop, native) in [
+        ("charAt", "string_char_at"),
+        ("charCodeAt", "string_char_code_at"),
+        ("indexOf", "string_index_of"),
+        ("lastIndexOf", "string_last_index_of"),
+        ("includes", "string_includes"),
+        ("startsWith", "string_starts_with"),
+        ("endsWith", "string_ends_with"),
+        ("slice", "string_slice"),
+        ("substring", "string_substring"),
+        ("substr", "string_substr"),
+        ("toUpperCase", "string_to_upper"),
+        ("toLowerCase", "string_to_lower"),
+        ("trim", "string_trim"),
+        ("split", "string_split"),
+        ("replace", "string_replace"),
+        ("replaceAll", "string_replace_all"),
+        ("concat", "string_concat"),
+        ("repeat", "string_repeat"),
+        ("padStart", "string_pad_start"),
+        ("padEnd", "string_pad_end"),
+        ("match", "string_match"),
+        ("search", "string_search"),
+        ("toString", "identity_this"),
+        ("valueOf", "identity_this"),
+    ] {
+        set_method(interp, string_proto, prop, native);
+    }
+
+    // Number.prototype / Boolean.prototype.
+    set_method(interp, number_proto, "toString", "number_to_string");
+    set_method(interp, number_proto, "toFixed", "number_to_fixed");
+    set_method(interp, number_proto, "valueOf", "identity_this");
+    set_method(interp, boolean_proto, "toString", "object_to_string");
+    set_method(interp, boolean_proto, "valueOf", "identity_this");
+
+    // Error.prototype.
+    set_method(interp, error_proto, "toString", "error_to_string");
+    set_hidden(interp, error_proto, "name", Value::str("Error"));
+    set_hidden(interp, error_proto, "message", Value::str(""));
+
+    // RegExp.prototype.
+    set_method(interp, regexp_proto, "test", "regexp_test");
+    set_method(interp, regexp_proto, "exec", "regexp_exec");
+    set_method(interp, regexp_proto, "toString", "object_to_string");
+
+    // Promise.prototype.
+    set_method(interp, promise_proto, "then", "promise_then");
+    set_method(interp, promise_proto, "catch", "promise_catch");
+    set_method(interp, promise_proto, "finally", "promise_finally");
+
+    // Object constructor and statics.
+    let object_ctor = make_native(interp, "object_ctor");
+    if let Some(oc) = object_ctor.as_obj() {
+        set_hidden(interp, oc, "prototype", Value::Obj(object_proto));
+        set_hidden(interp, object_proto, "constructor", object_ctor.clone());
+        for (prop, native) in [
+            ("keys", "object_keys"),
+            ("values", "object_values"),
+            ("entries", "object_entries"),
+            ("assign", "object_assign"),
+            ("create", "object_create"),
+            ("defineProperty", "object_define_property"),
+            ("defineProperties", "object_define_properties"),
+            ("getOwnPropertyNames", "object_get_own_property_names"),
+            ("getOwnPropertyDescriptor", "object_get_own_property_descriptor"),
+            ("getPrototypeOf", "object_get_prototype_of"),
+            ("setPrototypeOf", "object_set_prototype_of"),
+            ("freeze", "identity_first_arg"),
+            ("seal", "identity_first_arg"),
+            ("preventExtensions", "identity_first_arg"),
+            ("isFrozen", "return_false"),
+        ] {
+            set_method(interp, oc, prop, native);
+        }
+    }
+    bind_global(interp, "Object", object_ctor);
+
+    // Array constructor and statics.
+    let array_ctor = make_native(interp, "array_ctor");
+    if let Some(ac) = array_ctor.as_obj() {
+        set_hidden(interp, ac, "prototype", Value::Obj(array_proto));
+        set_hidden(interp, array_proto, "constructor", array_ctor.clone());
+        set_method(interp, ac, "isArray", "array_is_array");
+        set_method(interp, ac, "from", "array_from");
+        set_method(interp, ac, "of", "array_of");
+    }
+    bind_global(interp, "Array", array_ctor);
+
+    // Function constructor (dynamic code generation).
+    let function_ctor = make_native(interp, "function_ctor");
+    if let Some(fc) = function_ctor.as_obj() {
+        set_hidden(interp, fc, "prototype", Value::Obj(function_proto));
+    }
+    bind_global(interp, "Function", function_ctor);
+
+    // String / Number / Boolean constructors.
+    let string_ctor = make_native(interp, "string_ctor");
+    if let Some(sc) = string_ctor.as_obj() {
+        set_hidden(interp, sc, "prototype", Value::Obj(string_proto));
+        set_method(interp, sc, "fromCharCode", "string_from_char_code");
+    }
+    bind_global(interp, "String", string_ctor);
+    let number_ctor = make_native(interp, "number_ctor");
+    if let Some(nc) = number_ctor.as_obj() {
+        set_hidden(interp, nc, "prototype", Value::Obj(number_proto));
+        set_method(interp, nc, "isInteger", "number_is_integer");
+        set_method(interp, nc, "isFinite", "global_is_finite");
+        set_method(interp, nc, "isNaN", "global_is_nan");
+        set_method(interp, nc, "parseInt", "global_parse_int");
+        set_method(interp, nc, "parseFloat", "global_parse_float");
+        set_hidden(interp, nc, "MAX_SAFE_INTEGER", Value::Num(9007199254740991.0));
+        set_hidden(interp, nc, "MIN_SAFE_INTEGER", Value::Num(-9007199254740991.0));
+        set_hidden(interp, nc, "EPSILON", Value::Num(f64::EPSILON));
+        set_hidden(interp, nc, "NaN", Value::Num(f64::NAN));
+    }
+    bind_global(interp, "Number", number_ctor);
+    let boolean_ctor = make_native(interp, "boolean_ctor");
+    if let Some(bc) = boolean_ctor.as_obj() {
+        set_hidden(interp, bc, "prototype", Value::Obj(boolean_proto));
+    }
+    bind_global(interp, "Boolean", boolean_ctor);
+
+    // Errors.
+    for name in ["Error", "TypeError", "RangeError", "SyntaxError", "EvalError", "ReferenceError"] {
+        let ctor = make_native(interp, "error_ctor");
+        if let Some(ec) = ctor.as_obj() {
+            // Per-type prototype chained to Error.prototype.
+            let proto = if name == "Error" {
+                error_proto
+            } else {
+                let p = interp.heap.alloc(ObjKind::Plain);
+                interp.heap.get_mut(p).proto = Some(error_proto);
+                set_hidden(interp, p, "name", Value::str(name));
+                p
+            };
+            set_hidden(interp, ec, "prototype", Value::Obj(proto));
+            set_hidden(interp, proto, "constructor", ctor.clone());
+            set_hidden(interp, ec, "name", Value::str(name));
+        }
+        bind_global(interp, name, ctor);
+    }
+
+    // RegExp constructor.
+    let regexp_ctor = make_native(interp, "regexp_ctor");
+    if let Some(rc) = regexp_ctor.as_obj() {
+        set_hidden(interp, rc, "prototype", Value::Obj(regexp_proto));
+    }
+    bind_global(interp, "RegExp", regexp_ctor);
+
+    // Promise.
+    let promise_ctor = make_native(interp, "promise_ctor");
+    if let Some(pc) = promise_ctor.as_obj() {
+        set_hidden(interp, pc, "prototype", Value::Obj(promise_proto));
+        set_method(interp, pc, "resolve", "promise_resolve_static");
+        set_method(interp, pc, "reject", "promise_reject_static");
+        set_method(interp, pc, "all", "promise_all");
+    }
+    bind_global(interp, "Promise", promise_ctor);
+
+    // Math.
+    let math = interp.heap.alloc(ObjKind::Plain);
+    interp.heap.get_mut(math).proto = Some(object_proto);
+    for (prop, native) in [
+        ("floor", "math_floor"),
+        ("ceil", "math_ceil"),
+        ("round", "math_round"),
+        ("trunc", "math_trunc"),
+        ("abs", "math_abs"),
+        ("sqrt", "math_sqrt"),
+        ("pow", "math_pow"),
+        ("min", "math_min"),
+        ("max", "math_max"),
+        ("random", "math_random"),
+        ("log", "math_log"),
+        ("exp", "math_exp"),
+        ("sign", "math_sign"),
+    ] {
+        set_method(interp, math, prop, native);
+    }
+    set_hidden(interp, math, "PI", Value::Num(std::f64::consts::PI));
+    set_hidden(interp, math, "E", Value::Num(std::f64::consts::E));
+    bind_global(interp, "Math", Value::Obj(math));
+
+    // JSON.
+    let json = interp.heap.alloc(ObjKind::Plain);
+    interp.heap.get_mut(json).proto = Some(object_proto);
+    set_method(interp, json, "stringify", "json_stringify");
+    set_method(interp, json, "parse", "json_parse");
+    bind_global(interp, "JSON", Value::Obj(json));
+
+    // console.
+    let console = interp.heap.alloc(ObjKind::Plain);
+    interp.heap.get_mut(console).proto = Some(object_proto);
+    for m in ["log", "warn", "error", "info", "debug", "trace"] {
+        set_method(interp, console, m, "console_log");
+    }
+    bind_global(interp, "console", Value::Obj(console));
+
+    // Global functions.
+    for (name, native) in [
+        ("parseInt", "global_parse_int"),
+        ("parseFloat", "global_parse_float"),
+        ("isNaN", "global_is_nan"),
+        ("isFinite", "global_is_finite"),
+        ("eval", "global_eval"),
+        ("Symbol", "symbol_stub"),
+        ("setTimeout", "timer_immediate"),
+        ("setInterval", "timer_immediate"),
+        ("setImmediate", "timer_immediate"),
+        ("queueMicrotask", "timer_immediate"),
+        ("clearTimeout", "noop"),
+        ("clearInterval", "noop"),
+        ("clearImmediate", "noop"),
+        ("encodeURIComponent", "identity_first_arg_str"),
+        ("decodeURIComponent", "identity_first_arg_str"),
+        ("encodeURI", "identity_first_arg_str"),
+        ("decodeURI", "identity_first_arg_str"),
+        ("structuredClone", "identity_first_arg"),
+    ] {
+        let f = make_native(interp, native);
+        bind_global(interp, name, f);
+    }
+    // Symbol.iterator marker used by some libraries.
+    if let Some(Value::Obj(sym)) = crate::env::lookup(&interp.global_scope, "Symbol").as_ref() {
+        set_hidden(interp, *sym, "iterator", Value::str("Symbol(Symbol.iterator)"));
+        set_hidden(
+            interp,
+            *sym,
+            "asyncIterator",
+            Value::str("Symbol(Symbol.asyncIterator)"),
+        );
+    }
+
+    // Date (deterministic).
+    let date_ctor = make_native(interp, "date_ctor");
+    if let Some(dc) = date_ctor.as_obj() {
+        set_method(interp, dc, "now", "date_now");
+        let date_proto = interp.heap.alloc(ObjKind::Plain);
+        interp.heap.get_mut(date_proto).proto = Some(object_proto);
+        for m in [
+            "getTime",
+            "valueOf",
+            "getFullYear",
+            "getMonth",
+            "getDate",
+            "getHours",
+            "getMinutes",
+            "getSeconds",
+            "getMilliseconds",
+            "getDay",
+        ] {
+            set_method(interp, date_proto, m, "date_get_time");
+        }
+        set_method(interp, date_proto, "toISOString", "date_to_iso");
+        set_method(interp, date_proto, "toString", "date_to_iso");
+        set_hidden(interp, dc, "prototype", Value::Obj(date_proto));
+    }
+    bind_global(interp, "Date", date_ctor);
+
+    // process.
+    let process = interp.heap.alloc(ObjKind::Plain);
+    interp.heap.get_mut(process).proto = Some(object_proto);
+    let envv = interp.heap.alloc(ObjKind::Plain);
+    interp.heap.get_mut(envv).proto = Some(object_proto);
+    set_hidden(interp, process, "env", Value::Obj(envv));
+    let argv = interp
+        .heap
+        .alloc(ObjKind::Array(vec![Value::str("node"), Value::str("main")]));
+    interp.heap.get_mut(argv).proto = Some(array_proto);
+    set_hidden(interp, process, "argv", Value::Obj(argv));
+    set_hidden(interp, process, "platform", Value::str("linux"));
+    set_hidden(interp, process, "version", Value::str("v18.0.0"));
+    set_method(interp, process, "exit", "noop");
+    set_method(interp, process, "cwd", "process_cwd");
+    set_method(interp, process, "nextTick", "timer_immediate");
+    set_method(interp, process, "on", "noop");
+    set_method(interp, process, "emit", "noop");
+    let stdout = interp.heap.alloc(ObjKind::Plain);
+    interp.heap.get_mut(stdout).proto = Some(object_proto);
+    set_method(interp, stdout, "write", "console_log");
+    set_hidden(interp, process, "stdout", Value::Obj(stdout));
+    set_hidden(interp, process, "stderr", Value::Obj(stdout));
+    bind_global(interp, "process", Value::Obj(process));
+
+    // Buffer mock.
+    let buffer = make_mock(interp, "Buffer");
+    bind_global(interp, "Buffer", buffer);
+}
+
+/// Creates a sandbox mock object: property reads fall back to the object
+/// itself, and calling it invokes callback arguments (see
+/// `mock_io` below).
+pub fn make_mock(interp: &mut Interp, name: &str) -> Value {
+    let id = native_id(interp, "mock_io");
+    let obj = interp.heap.alloc(ObjKind::Native(id));
+    let fproto = interp.protos.function;
+    interp.heap.get_mut(obj).proto = Some(fproto);
+    set_hidden(interp, obj, "__mock__", Value::Bool(true));
+    set_hidden(interp, obj, "name", Value::str(name));
+    Value::Obj(obj)
+}
+
+// ---------------------------------------------------------------------
+// Native implementations
+// ---------------------------------------------------------------------
+
+type R = Result<Value, JsError>;
+
+fn this_string(i: &mut Interp, this: &Value) -> String {
+    i.to_string_value(this)
+}
+
+fn arg(args: &[Value], n: usize) -> Value {
+    args.get(n).cloned().unwrap_or(Value::Undefined)
+}
+
+fn new_array(i: &mut Interp, elems: Vec<Value>) -> Value {
+    let id = i.heap.alloc(ObjKind::Array(elems));
+    let proto = i.protos.array;
+    i.heap.get_mut(id).proto = Some(proto);
+    i.heap.get_mut(id).born_at = i.current_call_site;
+    i.tracer.on_alloc(i.current_call_site);
+    Value::Obj(id)
+}
+
+fn new_object(i: &mut Interp) -> ObjId {
+    let site = i.pending_new_loc.or(i.current_call_site);
+    let id = i.heap.alloc_plain(Some(i.protos.object), site);
+    i.tracer.on_alloc(site);
+    id
+}
+
+/// Reads the dense element list of an array `this`, or materializes an
+/// array-like.
+fn this_elems(i: &mut Interp, this: &Value) -> Result<Vec<Value>, JsError> {
+    match this.as_obj().map(|id| i.heap.get(id).kind.clone()) {
+        Some(ObjKind::Array(elems)) => Ok(elems),
+        _ => i.iterate_values(this),
+    }
+}
+
+fn store_elems(i: &mut Interp, this: &Value, elems: Vec<Value>) {
+    if let Some(id) = this.as_obj() {
+        if let ObjKind::Array(e) = &mut i.heap.get_mut(id).kind {
+            *e = elems;
+        }
+    }
+}
+
+// ----- generic -----
+
+fn noop(_i: &mut Interp, _s: ObjId, _t: Value, _a: &[Value]) -> R {
+    Ok(Value::Undefined)
+}
+
+fn identity_this(_i: &mut Interp, _s: ObjId, this: Value, _a: &[Value]) -> R {
+    Ok(this)
+}
+
+fn identity_first_arg(_i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    Ok(arg(args, 0))
+}
+
+fn identity_first_arg_str(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let s = i.to_string_value(&arg(args, 0));
+    Ok(Value::from(s))
+}
+
+fn return_false(_i: &mut Interp, _s: ObjId, _t: Value, _a: &[Value]) -> R {
+    Ok(Value::Bool(false))
+}
+
+fn console_log(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let line = args
+        .iter()
+        .map(|a| i.to_string_value(a))
+        .collect::<Vec<_>>()
+        .join(" ");
+    i.console.push(line);
+    Ok(Value::Undefined)
+}
+
+fn timer_immediate(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let cb = arg(args, 0);
+    if i.heap.is_callable(&cb) {
+        // Extra args after the delay are forwarded.
+        let rest: Vec<Value> = args.iter().skip(2).cloned().collect();
+        i.call_value(cb, Value::Undefined, &rest, None)?;
+    }
+    Ok(Value::Num(0.0))
+}
+
+/// The sandbox mock: invokes any callback arguments with unknown values
+/// and returns the proxy (approx mode) or itself (concrete mode).
+fn mock_io(i: &mut Interp, s: ObjId, _t: Value, args: &[Value]) -> R {
+    let unknown = if i.opts.approx {
+        i.proxy_value()
+    } else {
+        Value::Obj(s)
+    };
+    for a in args {
+        if i.heap.is_callable(a) && a.as_obj() != Some(s) {
+            let cb_args = [unknown.clone(), unknown.clone(), unknown.clone()];
+            // Ignore errors from callbacks: the mock's job is coverage.
+            let _ = i.call_value(a.clone(), Value::Undefined, &cb_args, None);
+        }
+    }
+    Ok(if i.opts.approx {
+        i.proxy_value()
+    } else {
+        Value::Obj(s)
+    })
+}
+
+// ----- require -----
+
+fn require(i: &mut Interp, s: ObjId, _t: Value, args: &[Value]) -> R {
+    let site = i.current_call_site;
+    let spec = arg(args, 0);
+    if i.heap.is_proxy(&spec) {
+        return Ok(i.proxy_value());
+    }
+    let name = i.to_string_value(&spec);
+    let from_idx = match i.heap.own_prop(s, "__module_index__") {
+        Some(Prop {
+            value: PropValue::Data(Value::Num(n)),
+            ..
+        }) => n as usize,
+        _ => 0,
+    };
+    i.load_module(from_idx, &name, site)
+}
+
+fn require_resolve(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let name = i.to_string_value(&arg(args, 0));
+    Ok(Value::from(name))
+}
+
+// ----- Object -----
+
+fn object_ctor(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    match args.first() {
+        Some(Value::Obj(id)) => Ok(Value::Obj(*id)),
+        _ => Ok(Value::Obj(new_object(i))),
+    }
+}
+
+fn object_keys(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let keys = match arg(args, 0).as_obj() {
+        Some(id) if !matches!(i.heap.get(id).kind, ObjKind::Proxy) => i
+            .heap
+            .own_enumerable_keys(id)
+            .into_iter()
+            .map(Value::Str)
+            .collect(),
+        _ => Vec::new(),
+    };
+    Ok(new_array(i, keys))
+}
+
+fn object_values(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let o = arg(args, 0);
+    let mut vals = Vec::new();
+    if let Some(id) = o.as_obj() {
+        if !matches!(i.heap.get(id).kind, ObjKind::Proxy) {
+            for k in i.heap.own_enumerable_keys(id) {
+                vals.push(i.get_property(o.clone(), &k, None)?);
+            }
+        }
+    }
+    Ok(new_array(i, vals))
+}
+
+fn object_entries(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let o = arg(args, 0);
+    let mut entries = Vec::new();
+    if let Some(id) = o.as_obj() {
+        if !matches!(i.heap.get(id).kind, ObjKind::Proxy) {
+            for k in i.heap.own_enumerable_keys(id) {
+                let v = i.get_property(o.clone(), &k, None)?;
+                entries.push(new_array(i, vec![Value::Str(k), v]));
+            }
+        }
+    }
+    Ok(new_array(i, entries))
+}
+
+/// `Object.assign` — modeled as a sequence of dynamic property writes
+/// (§3 of the paper).
+fn object_assign(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let target = arg(args, 0);
+    let Some(tid) = target.as_obj() else {
+        return Ok(target);
+    };
+    if matches!(i.heap.get(tid).kind, ObjKind::Proxy) {
+        return Ok(target);
+    }
+    for src in args.iter().skip(1) {
+        let Some(sid) = src.as_obj() else { continue };
+        if matches!(i.heap.get(sid).kind, ObjKind::Proxy) {
+            continue;
+        }
+        for k in i.heap.own_enumerable_keys(sid) {
+            let v = i.get_property(src.clone(), &k, None)?;
+            let op_loc = i.current_call_site;
+            let obj_loc = i.loc_of(&target);
+            let val_loc = i.loc_of(&v);
+            i.tracer.on_dynamic_write(op_loc, obj_loc, &k, val_loc, &v);
+            i.set_property(&target, &k, v)?;
+        }
+    }
+    Ok(target)
+}
+
+/// `Object.create` — a form of object construction (§3).
+fn object_create(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let proto = match arg(args, 0) {
+        Value::Obj(p) => Some(p),
+        Value::Null => None,
+        _ => Some(i.protos.object),
+    };
+    let site = i.current_call_site;
+    let id = i.heap.alloc_plain(proto, site);
+    i.tracer.on_alloc(site);
+    let objv = Value::Obj(id);
+    if let Some(props) = args.get(1) {
+        define_properties_from(i, &objv, props)?;
+    }
+    Ok(objv)
+}
+
+/// Applies one property descriptor, recording a dynamic-write hint.
+fn define_one_property(
+    i: &mut Interp,
+    target: &Value,
+    key: &str,
+    descriptor: &Value,
+) -> Result<(), JsError> {
+    let Some(tid) = target.as_obj() else {
+        return Ok(());
+    };
+    if matches!(i.heap.get(tid).kind, ObjKind::Proxy) {
+        return Ok(());
+    }
+    let get = i.get_property(descriptor.clone(), "get", None)?;
+    let set = i.get_property(descriptor.clone(), "set", None)?;
+    let enumerable = i.get_property(descriptor.clone(), "enumerable", None)?;
+    if i.heap.is_callable(&get) || i.heap.is_callable(&set) {
+        let prop = Prop {
+            value: PropValue::Accessor {
+                get: if i.heap.is_callable(&get) { Some(get.clone()) } else { None },
+                set: if i.heap.is_callable(&set) { Some(set.clone()) } else { None },
+            },
+            enumerable: enumerable.is_truthy(),
+        };
+        i.heap.get_mut(tid).props.insert(Rc::from(key), prop);
+        // Record the getter as flowing into the property (the paper's
+        // implementation treats defineProperty as a dynamic write of the
+        // descriptor's value).
+        let op_loc = i.current_call_site;
+        let obj_loc = i.loc_of(target);
+        let val_loc = i.loc_of(&get);
+        i.tracer.on_dynamic_write(op_loc, obj_loc, key, val_loc, &get);
+        return Ok(());
+    }
+    let value = i.get_property(descriptor.clone(), "value", None)?;
+    let op_loc = i.current_call_site;
+    let obj_loc = i.loc_of(target);
+    let val_loc = i.loc_of(&value);
+    i.tracer.on_dynamic_write(op_loc, obj_loc, key, val_loc, &value);
+    i.heap.get_mut(tid).props.insert(
+        Rc::from(key),
+        Prop {
+            value: PropValue::Data(value),
+            enumerable: enumerable.is_truthy(),
+        },
+    );
+    Ok(())
+}
+
+fn object_define_property(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let target = arg(args, 0);
+    let keyv = arg(args, 1);
+    if i.heap.is_proxy(&keyv) {
+        return Ok(target);
+    }
+    let key = i.to_string_value(&keyv);
+    let descriptor = arg(args, 2);
+    define_one_property(i, &target, &key, &descriptor)?;
+    Ok(target)
+}
+
+fn define_properties_from(
+    i: &mut Interp,
+    target: &Value,
+    props: &Value,
+) -> Result<(), JsError> {
+    if let Some(pid) = props.as_obj() {
+        if !matches!(i.heap.get(pid).kind, ObjKind::Proxy) {
+            for k in i.heap.own_enumerable_keys(pid) {
+                let d = i.get_property(props.clone(), &k, None)?;
+                define_one_property(i, target, &k, &d)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn object_define_properties(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let target = arg(args, 0);
+    let props = arg(args, 1);
+    define_properties_from(i, &target, &props)?;
+    Ok(target)
+}
+
+fn object_get_own_property_names(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let keys = match arg(args, 0).as_obj() {
+        Some(id) if !matches!(i.heap.get(id).kind, ObjKind::Proxy) => {
+            let mut ks: Vec<Value> = i
+                .heap
+                .own_keys(id)
+                .into_iter()
+                .map(Value::Str)
+                .collect();
+            if matches!(i.heap.get(id).kind, ObjKind::Array(_)) {
+                ks.push(Value::str("length"));
+            }
+            ks
+        }
+        _ => Vec::new(),
+    };
+    Ok(new_array(i, keys))
+}
+
+fn object_get_own_property_descriptor(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let o = arg(args, 0);
+    let keyv = arg(args, 1);
+    if i.heap.is_proxy(&keyv) || i.heap.is_proxy(&o) {
+        return Ok(if i.opts.approx {
+            i.proxy_value()
+        } else {
+            Value::Undefined
+        });
+    }
+    let key = i.to_string_value(&keyv);
+    let Some(id) = o.as_obj() else {
+        return Ok(Value::Undefined);
+    };
+    let Some(prop) = i.heap.own_prop(id, &key) else {
+        return Ok(Value::Undefined);
+    };
+    let d = new_object(i);
+    match prop.value {
+        PropValue::Data(v) => {
+            i.heap.set_prop(d, "value", v);
+            i.heap.set_prop(d, "writable", Value::Bool(true));
+        }
+        PropValue::Accessor { get, set } => {
+            i.heap
+                .set_prop(d, "get", get.unwrap_or(Value::Undefined));
+            i.heap
+                .set_prop(d, "set", set.unwrap_or(Value::Undefined));
+        }
+    }
+    i.heap
+        .set_prop(d, "enumerable", Value::Bool(prop.enumerable));
+    i.heap.set_prop(d, "configurable", Value::Bool(true));
+    Ok(Value::Obj(d))
+}
+
+fn object_get_prototype_of(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    match arg(args, 0).as_obj() {
+        Some(id) => Ok(i
+            .heap
+            .get(id)
+            .proto
+            .map(Value::Obj)
+            .unwrap_or(Value::Null)),
+        None => Ok(Value::Null),
+    }
+}
+
+fn object_set_prototype_of(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let o = arg(args, 0);
+    if let Some(id) = o.as_obj() {
+        match arg(args, 1) {
+            Value::Obj(p) => i.heap.get_mut(id).proto = Some(p),
+            Value::Null => i.heap.get_mut(id).proto = None,
+            _ => {}
+        }
+    }
+    Ok(o)
+}
+
+fn object_has_own(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let key = i.to_string_value(&arg(args, 0));
+    match this.as_obj() {
+        Some(id) if !matches!(i.heap.get(id).kind, ObjKind::Proxy) => {
+            Ok(Value::Bool(i.heap.own_prop(id, &key).is_some()))
+        }
+        Some(_) => Ok(Value::Bool(true)),
+        None => Ok(Value::Bool(false)),
+    }
+}
+
+fn object_to_string(i: &mut Interp, _s: ObjId, this: Value, _a: &[Value]) -> R {
+    // Careful: this native *is* the `toString` that `ToPrimitive` falls
+    // back to, so it must not call back into the generic `ToString`
+    // machinery (infinite mutual recursion otherwise — found by fuzzing).
+    let s = match &this {
+        Value::Obj(id) => match &i.heap.get(*id).kind {
+            ObjKind::Array(_) => {
+                return array_join(i, _s, this.clone(), &[]);
+            }
+            ObjKind::Function(_) | ObjKind::Native(_) => {
+                "function () { [native code] }".to_string()
+            }
+            _ => "[object Object]".to_string(),
+        },
+        other => crate::convert::prim_to_string(other),
+    };
+    Ok(Value::from(s))
+}
+
+fn object_is_prototype_of(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let (Some(pid), Some(oid)) = (this.as_obj(), arg(args, 0).as_obj()) else {
+        return Ok(Value::Bool(false));
+    };
+    let mut cur = i.heap.get(oid).proto;
+    let mut hops = 0;
+    while let Some(p) = cur {
+        if p == pid {
+            return Ok(Value::Bool(true));
+        }
+        cur = i.heap.get(p).proto;
+        hops += 1;
+        if hops > 64 {
+            break;
+        }
+    }
+    Ok(Value::Bool(false))
+}
+
+fn object_prop_is_enumerable(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let key = i.to_string_value(&arg(args, 0));
+    match this.as_obj() {
+        Some(id) => Ok(Value::Bool(
+            i.heap.own_prop(id, &key).map(|p| p.enumerable) == Some(true),
+        )),
+        None => Ok(Value::Bool(false)),
+    }
+}
+
+// ----- Function.prototype -----
+
+fn function_call(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let call_this = arg(args, 0);
+    let rest: Vec<Value> = args.iter().skip(1).cloned().collect();
+    let site = i.current_call_site;
+    i.call_value(this, call_this, &rest, site)
+}
+
+fn function_apply(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let call_this = arg(args, 0);
+    let arr = arg(args, 1);
+    let list = if arr.is_nullish() {
+        Vec::new()
+    } else {
+        i.iterate_values(&arr)?
+    };
+    let site = i.current_call_site;
+    i.call_value(this, call_this, &list, site)
+}
+
+fn function_bind(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let Some(fid) = this.as_obj() else {
+        return Ok(this);
+    };
+    match i.heap.get(fid).kind.clone() {
+        ObjKind::Function(mut data) => {
+            data.bound_this = Some(Box::new(arg(args, 0)));
+            data.bound_args
+                .extend(args.iter().skip(1).cloned());
+            let b = i.heap.alloc(ObjKind::Function(data));
+            let src = i.heap.get(fid).clone();
+            let dst = i.heap.get_mut(b);
+            dst.proto = src.proto;
+            // Bound functions keep the original's allocation-site identity
+            // so analysis hints still refer to the definition.
+            dst.born_at = src.born_at;
+            dst.func_def = src.func_def;
+            Ok(Value::Obj(b))
+        }
+        _ => Ok(this), // binding natives/proxies: approximate with the original
+    }
+}
+
+fn function_to_string(_i: &mut Interp, _s: ObjId, _t: Value, _a: &[Value]) -> R {
+    Ok(Value::str("function () { [native code] }"))
+}
+
+fn function_ctor(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    // new Function(p1, ..., pn, body) — dynamically generated code.
+    let mut params = Vec::new();
+    for a in args.iter().take(args.len().saturating_sub(1)) {
+        params.push(i.to_string_value(a));
+    }
+    let body = match args.last() {
+        Some(b) => i.to_string_value(b),
+        None => String::new(),
+    };
+    let src = format!(
+        "(function anonymous({}) {{ {} }})",
+        params.join(", "),
+        body
+    );
+    let scope = i.global_scope();
+    i.run_eval(&src, &scope)
+}
+
+// ----- Array -----
+
+fn array_ctor(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let elems = if args.len() == 1 {
+        if let Value::Num(n) = &args[0] {
+            vec![Value::Undefined; (*n as usize).min(100_000)]
+        } else {
+            vec![args[0].clone()]
+        }
+    } else {
+        args.to_vec()
+    };
+    let id = i.heap.alloc(ObjKind::Array(elems));
+    let proto = i.protos.array;
+    i.heap.get_mut(id).proto = Some(proto);
+    let site = i.pending_new_loc.or(i.current_call_site);
+    i.heap.get_mut(id).born_at = site;
+    i.tracer.on_alloc(site);
+    Ok(Value::Obj(id))
+}
+
+fn array_is_array(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    Ok(Value::Bool(matches!(
+        arg(args, 0).as_obj().map(|id| &i.heap.get(id).kind),
+        Some(ObjKind::Array(_))
+    )))
+}
+
+fn array_from(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let src = arg(args, 0);
+    let items = i.iterate_values(&src)?;
+    let mapfn = arg(args, 1);
+    let mut out = Vec::with_capacity(items.len());
+    if i.heap.is_callable(&mapfn) {
+        for (idx, item) in items.into_iter().enumerate() {
+            out.push(i.call_value(
+                mapfn.clone(),
+                Value::Undefined,
+                &[item, Value::Num(idx as f64)],
+                None,
+            )?);
+        }
+    } else {
+        out = items;
+    }
+    Ok(new_array(i, out))
+}
+
+fn array_of(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    Ok(new_array(i, args.to_vec()))
+}
+
+fn array_push(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let mut elems = this_elems(i, &this)?;
+    elems.extend(args.iter().cloned());
+    let n = elems.len();
+    store_elems(i, &this, elems);
+    Ok(Value::Num(n as f64))
+}
+
+fn array_pop(i: &mut Interp, _s: ObjId, this: Value, _a: &[Value]) -> R {
+    let mut elems = this_elems(i, &this)?;
+    let v = elems.pop().unwrap_or(Value::Undefined);
+    store_elems(i, &this, elems);
+    Ok(v)
+}
+
+fn array_shift(i: &mut Interp, _s: ObjId, this: Value, _a: &[Value]) -> R {
+    let mut elems = this_elems(i, &this)?;
+    let v = if elems.is_empty() {
+        Value::Undefined
+    } else {
+        elems.remove(0)
+    };
+    store_elems(i, &this, elems);
+    Ok(v)
+}
+
+fn array_unshift(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let mut elems = this_elems(i, &this)?;
+    for (k, a) in args.iter().enumerate() {
+        elems.insert(k, a.clone());
+    }
+    let n = elems.len();
+    store_elems(i, &this, elems);
+    Ok(Value::Num(n as f64))
+}
+
+fn norm_index(idx: f64, len: usize) -> usize {
+    if idx < 0.0 {
+        (len as f64 + idx).max(0.0) as usize
+    } else {
+        (idx as usize).min(len)
+    }
+}
+
+fn array_slice(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let elems = this_elems(i, &this)?;
+    let len = elems.len();
+    let start = match args.first() {
+        Some(v) => norm_index(i.to_number_value(v)?, len),
+        None => 0,
+    };
+    let end = match args.get(1) {
+        Some(Value::Undefined) | None => len,
+        Some(v) => norm_index(i.to_number_value(v)?, len),
+    };
+    let out = if start < end {
+        elems[start..end].to_vec()
+    } else {
+        Vec::new()
+    };
+    Ok(new_array(i, out))
+}
+
+fn array_splice(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let mut elems = this_elems(i, &this)?;
+    let len = elems.len();
+    let start = match args.first() {
+        Some(v) => norm_index(i.to_number_value(v)?, len),
+        None => 0,
+    };
+    let delete_count = match args.get(1) {
+        Some(v) => (i.to_number_value(v)?.max(0.0) as usize).min(len - start),
+        None => len - start,
+    };
+    let removed: Vec<Value> = elems.splice(start..start + delete_count, args.iter().skip(2).cloned()).collect();
+    store_elems(i, &this, elems);
+    Ok(new_array(i, removed))
+}
+
+fn array_concat(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let mut elems = this_elems(i, &this)?;
+    for a in args {
+        match a.as_obj().map(|id| i.heap.get(id).kind.clone()) {
+            Some(ObjKind::Array(more)) => elems.extend(more),
+            _ => elems.push(a.clone()),
+        }
+    }
+    Ok(new_array(i, elems))
+}
+
+fn array_join(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let elems = this_elems(i, &this)?;
+    let sep = match args.first() {
+        Some(Value::Undefined) | None => ",".to_string(),
+        Some(v) => i.to_string_value(v),
+    };
+    let parts: Vec<String> = elems
+        .iter()
+        .map(|e| {
+            if e.is_nullish() {
+                String::new()
+            } else {
+                i.to_string_value(e)
+            }
+        })
+        .collect();
+    Ok(Value::from(parts.join(&sep)))
+}
+
+fn array_index_of(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let elems = this_elems(i, &this)?;
+    let needle = arg(args, 0);
+    Ok(Value::Num(
+        elems
+            .iter()
+            .position(|e| e.strict_eq(&needle))
+            .map(|p| p as f64)
+            .unwrap_or(-1.0),
+    ))
+}
+
+fn array_last_index_of(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let elems = this_elems(i, &this)?;
+    let needle = arg(args, 0);
+    Ok(Value::Num(
+        elems
+            .iter()
+            .rposition(|e| e.strict_eq(&needle))
+            .map(|p| p as f64)
+            .unwrap_or(-1.0),
+    ))
+}
+
+fn array_includes(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let elems = this_elems(i, &this)?;
+    let needle = arg(args, 0);
+    Ok(Value::Bool(elems.iter().any(|e| e.strict_eq(&needle))))
+}
+
+fn array_for_each(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let elems = this_elems(i, &this)?;
+    let cb = arg(args, 0);
+    let cb_this = arg(args, 1);
+    for (idx, e) in elems.into_iter().enumerate() {
+        i.call_value(
+            cb.clone(),
+            cb_this.clone(),
+            &[e, Value::Num(idx as f64), this.clone()],
+            i.current_call_site,
+        )?;
+    }
+    Ok(Value::Undefined)
+}
+
+fn array_map(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let elems = this_elems(i, &this)?;
+    let cb = arg(args, 0);
+    let cb_this = arg(args, 1);
+    let mut out = Vec::with_capacity(elems.len());
+    for (idx, e) in elems.into_iter().enumerate() {
+        out.push(i.call_value(
+            cb.clone(),
+            cb_this.clone(),
+            &[e, Value::Num(idx as f64), this.clone()],
+            i.current_call_site,
+        )?);
+    }
+    Ok(new_array(i, out))
+}
+
+fn array_filter(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let elems = this_elems(i, &this)?;
+    let cb = arg(args, 0);
+    let cb_this = arg(args, 1);
+    let mut out = Vec::new();
+    for (idx, e) in elems.into_iter().enumerate() {
+        let keep = i.call_value(
+            cb.clone(),
+            cb_this.clone(),
+            &[e.clone(), Value::Num(idx as f64), this.clone()],
+            i.current_call_site,
+        )?;
+        if i.truthy(&keep) {
+            out.push(e);
+        }
+    }
+    Ok(new_array(i, out))
+}
+
+fn array_reduce(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let elems = this_elems(i, &this)?;
+    let cb = arg(args, 0);
+    let mut acc;
+    let mut start = 0;
+    if args.len() >= 2 {
+        acc = arg(args, 1);
+    } else if !elems.is_empty() {
+        acc = elems[0].clone();
+        start = 1;
+    } else {
+        return Err(i.throw_error("TypeError", "reduce of empty array with no initial value"));
+    }
+    for (idx, e) in elems.into_iter().enumerate().skip(start) {
+        acc = i.call_value(
+            cb.clone(),
+            Value::Undefined,
+            &[acc, e, Value::Num(idx as f64), this.clone()],
+            i.current_call_site,
+        )?;
+    }
+    Ok(acc)
+}
+
+fn array_reduce_right(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let mut elems = this_elems(i, &this)?;
+    elems.reverse();
+    let rev = new_array(i, elems);
+    array_reduce(i, _s, rev, args)
+}
+
+fn array_some(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let elems = this_elems(i, &this)?;
+    let cb = arg(args, 0);
+    for (idx, e) in elems.into_iter().enumerate() {
+        let r = i.call_value(
+            cb.clone(),
+            Value::Undefined,
+            &[e, Value::Num(idx as f64), this.clone()],
+            i.current_call_site,
+        )?;
+        if i.truthy(&r) {
+            return Ok(Value::Bool(true));
+        }
+    }
+    Ok(Value::Bool(false))
+}
+
+fn array_every(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let elems = this_elems(i, &this)?;
+    let cb = arg(args, 0);
+    for (idx, e) in elems.into_iter().enumerate() {
+        let r = i.call_value(
+            cb.clone(),
+            Value::Undefined,
+            &[e, Value::Num(idx as f64), this.clone()],
+            i.current_call_site,
+        )?;
+        if !i.truthy(&r) {
+            return Ok(Value::Bool(false));
+        }
+    }
+    Ok(Value::Bool(true))
+}
+
+fn array_find(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let elems = this_elems(i, &this)?;
+    let cb = arg(args, 0);
+    for (idx, e) in elems.into_iter().enumerate() {
+        let r = i.call_value(
+            cb.clone(),
+            Value::Undefined,
+            &[e.clone(), Value::Num(idx as f64), this.clone()],
+            i.current_call_site,
+        )?;
+        if i.truthy(&r) {
+            return Ok(e);
+        }
+    }
+    Ok(Value::Undefined)
+}
+
+fn array_find_index(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let elems = this_elems(i, &this)?;
+    let cb = arg(args, 0);
+    for (idx, e) in elems.into_iter().enumerate() {
+        let r = i.call_value(
+            cb.clone(),
+            Value::Undefined,
+            &[e, Value::Num(idx as f64), this.clone()],
+            i.current_call_site,
+        )?;
+        if i.truthy(&r) {
+            return Ok(Value::Num(idx as f64));
+        }
+    }
+    Ok(Value::Num(-1.0))
+}
+
+fn array_sort(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let mut elems = this_elems(i, &this)?;
+    let cmp = arg(args, 0);
+    if i.heap.is_callable(&cmp) {
+        // Simple insertion sort driven by the comparator (comparators can
+        // have side effects; a stable, predictable order matters more
+        // than asymptotics here).
+        let mut sorted: Vec<Value> = Vec::with_capacity(elems.len());
+        for e in elems.into_iter() {
+            let mut at = sorted.len();
+            for (j, s) in sorted.iter().enumerate() {
+                let r = i.call_value(
+                    cmp.clone(),
+                    Value::Undefined,
+                    &[e.clone(), s.clone()],
+                    None,
+                )?;
+                if i.to_number_value(&r)? < 0.0 {
+                    at = j;
+                    break;
+                }
+            }
+            sorted.insert(at, e);
+        }
+        elems = sorted;
+    } else {
+        let mut keyed: Vec<(String, Value)> = elems
+            .into_iter()
+            .map(|e| (i.to_string_value(&e), e))
+            .collect();
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        elems = keyed.into_iter().map(|(_, e)| e).collect();
+    }
+    store_elems(i, &this, elems);
+    Ok(this)
+}
+
+fn array_reverse(i: &mut Interp, _s: ObjId, this: Value, _a: &[Value]) -> R {
+    let mut elems = this_elems(i, &this)?;
+    elems.reverse();
+    store_elems(i, &this, elems);
+    Ok(this)
+}
+
+fn array_fill(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let mut elems = this_elems(i, &this)?;
+    let v = arg(args, 0);
+    for e in elems.iter_mut() {
+        *e = v.clone();
+    }
+    store_elems(i, &this, elems);
+    Ok(this)
+}
+
+fn array_flat(i: &mut Interp, _s: ObjId, this: Value, _a: &[Value]) -> R {
+    let elems = this_elems(i, &this)?;
+    let mut out = Vec::new();
+    for e in elems {
+        match e.as_obj().map(|id| i.heap.get(id).kind.clone()) {
+            Some(ObjKind::Array(inner)) => out.extend(inner),
+            _ => out.push(e),
+        }
+    }
+    Ok(new_array(i, out))
+}
+
+fn array_to_string(i: &mut Interp, s: ObjId, this: Value, _a: &[Value]) -> R {
+    array_join(i, s, this, &[])
+}
+
+// ----- String -----
+
+fn string_ctor(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let s = match args.first() {
+        Some(v) => i.to_string_value(v),
+        None => String::new(),
+    };
+    Ok(Value::from(s))
+}
+
+fn string_from_char_code(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let mut out = String::new();
+    for a in args {
+        let c = i.to_number_value(a)? as u32;
+        out.push(char::from_u32(c).unwrap_or('\u{fffd}'));
+    }
+    Ok(Value::from(out))
+}
+
+fn string_char_at(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let s = this_string(i, &this);
+    let idx = i.to_number_value(&arg(args, 0))? as usize;
+    Ok(Value::from(
+        s.chars().nth(idx).map(|c| c.to_string()).unwrap_or_default(),
+    ))
+}
+
+fn string_char_code_at(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let s = this_string(i, &this);
+    let idx = i.to_number_value(&arg(args, 0))? as usize;
+    Ok(match s.chars().nth(idx) {
+        Some(c) => Value::Num(c as u32 as f64),
+        None => Value::Num(f64::NAN),
+    })
+}
+
+fn string_index_of(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let s = this_string(i, &this);
+    let needle = i.to_string_value(&arg(args, 0));
+    Ok(Value::Num(
+        s.find(&needle)
+            .map(|b| s[..b].chars().count() as f64)
+            .unwrap_or(-1.0),
+    ))
+}
+
+fn string_last_index_of(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let s = this_string(i, &this);
+    let needle = i.to_string_value(&arg(args, 0));
+    Ok(Value::Num(
+        s.rfind(&needle)
+            .map(|b| s[..b].chars().count() as f64)
+            .unwrap_or(-1.0),
+    ))
+}
+
+fn string_includes(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let s = this_string(i, &this);
+    let needle = i.to_string_value(&arg(args, 0));
+    Ok(Value::Bool(s.contains(&needle)))
+}
+
+fn string_starts_with(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let s = this_string(i, &this);
+    let needle = i.to_string_value(&arg(args, 0));
+    Ok(Value::Bool(s.starts_with(&needle)))
+}
+
+fn string_ends_with(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let s = this_string(i, &this);
+    let needle = i.to_string_value(&arg(args, 0));
+    Ok(Value::Bool(s.ends_with(&needle)))
+}
+
+fn char_slice(s: &str, start: usize, end: usize) -> String {
+    s.chars().skip(start).take(end.saturating_sub(start)).collect()
+}
+
+fn string_slice(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let s = this_string(i, &this);
+    let len = s.chars().count();
+    let start = match args.first() {
+        Some(v) => norm_index(i.to_number_value(v)?, len),
+        None => 0,
+    };
+    let end = match args.get(1) {
+        Some(Value::Undefined) | None => len,
+        Some(v) => norm_index(i.to_number_value(v)?, len),
+    };
+    Ok(Value::from(char_slice(&s, start, end)))
+}
+
+fn string_substring(i: &mut Interp, s_: ObjId, this: Value, args: &[Value]) -> R {
+    // substring swaps out-of-order indices; close enough to slice for our
+    // purposes when indices are in order.
+    string_slice(i, s_, this, args)
+}
+
+fn string_substr(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let s = this_string(i, &this);
+    let len = s.chars().count();
+    let start = match args.first() {
+        Some(v) => norm_index(i.to_number_value(v)?, len),
+        None => 0,
+    };
+    let count = match args.get(1) {
+        Some(Value::Undefined) | None => len - start,
+        Some(v) => i.to_number_value(v)?.max(0.0) as usize,
+    };
+    Ok(Value::from(char_slice(&s, start, start + count)))
+}
+
+fn string_to_upper(i: &mut Interp, _s: ObjId, this: Value, _a: &[Value]) -> R {
+    let s = this_string(i, &this);
+    Ok(Value::from(s.to_uppercase()))
+}
+
+fn string_to_lower(i: &mut Interp, _s: ObjId, this: Value, _a: &[Value]) -> R {
+    let s = this_string(i, &this);
+    Ok(Value::from(s.to_lowercase()))
+}
+
+fn string_trim(i: &mut Interp, _s: ObjId, this: Value, _a: &[Value]) -> R {
+    let s = this_string(i, &this);
+    Ok(Value::from(s.trim().to_string()))
+}
+
+fn string_split(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let s = this_string(i, &this);
+    let sep = arg(args, 0);
+    let parts: Vec<Value> = match &sep {
+        Value::Undefined => vec![Value::from(s)],
+        Value::Str(sep) if sep.is_empty() => {
+            s.chars().map(|c| Value::str(c.to_string())).collect()
+        }
+        Value::Str(sep) => s.split(&**sep).map(Value::str).collect(),
+        Value::Obj(_) => {
+            // Regex separator: approximate by whitespace split.
+            s.split_whitespace().map(Value::str).collect()
+        }
+        other => {
+            let sep = i.to_string_value(other);
+            s.split(&sep).map(Value::str).collect()
+        }
+    };
+    let limited = match args.get(1) {
+        Some(Value::Num(n)) => parts.into_iter().take(*n as usize).collect(),
+        _ => parts,
+    };
+    Ok(new_array(i, limited))
+}
+
+fn string_replace(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let s = this_string(i, &this);
+    let pat = arg(args, 0);
+    let repl = arg(args, 1);
+    match &pat {
+        Value::Str(p) => {
+            let replacement = if i.heap.is_callable(&repl) {
+                let m = Value::Str(p.clone());
+                let r = i.call_value(repl, Value::Undefined, &[m], None)?;
+                i.to_string_value(&r)
+            } else {
+                i.to_string_value(&repl)
+            };
+            Ok(Value::from(s.replacen(&**p, &replacement, 1)))
+        }
+        // Regex pattern: return the string unchanged (approximation).
+        _ => Ok(Value::from(s)),
+    }
+}
+
+fn string_replace_all(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let s = this_string(i, &this);
+    let pat = arg(args, 0);
+    let repl = arg(args, 1);
+    match &pat {
+        Value::Str(p) => {
+            let replacement = i.to_string_value(&repl);
+            Ok(Value::from(s.replace(&**p, &replacement)))
+        }
+        _ => Ok(Value::from(s)),
+    }
+}
+
+fn string_concat(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let mut s = this_string(i, &this);
+    for a in args {
+        s.push_str(&i.to_string_value(a));
+    }
+    Ok(Value::from(s))
+}
+
+fn string_repeat(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let s = this_string(i, &this);
+    let n = i.to_number_value(&arg(args, 0))?.max(0.0) as usize;
+    Ok(Value::from(s.repeat(n.min(10_000))))
+}
+
+fn string_pad_start(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let s = this_string(i, &this);
+    let target = i.to_number_value(&arg(args, 0))?.max(0.0) as usize;
+    let pad = match args.get(1) {
+        Some(Value::Undefined) | None => " ".to_string(),
+        Some(v) => i.to_string_value(v),
+    };
+    let mut out = String::new();
+    while out.chars().count() + s.chars().count() < target && !pad.is_empty() {
+        out.push_str(&pad);
+    }
+    let needed = target.saturating_sub(s.chars().count());
+    let out: String = out.chars().take(needed).collect();
+    Ok(Value::from(format!("{out}{s}")))
+}
+
+fn string_pad_end(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let s = this_string(i, &this);
+    let target = i.to_number_value(&arg(args, 0))?.max(0.0) as usize;
+    let pad = match args.get(1) {
+        Some(Value::Undefined) | None => " ".to_string(),
+        Some(v) => i.to_string_value(v),
+    };
+    let mut out = s.clone();
+    while out.chars().count() < target && !pad.is_empty() {
+        out.push_str(&pad);
+    }
+    let out: String = out.chars().take(target.max(s.chars().count())).collect();
+    Ok(Value::from(out))
+}
+
+fn string_match(_i: &mut Interp, _s: ObjId, _t: Value, _a: &[Value]) -> R {
+    Ok(Value::Null)
+}
+
+fn string_search(_i: &mut Interp, _s: ObjId, _t: Value, _a: &[Value]) -> R {
+    Ok(Value::Num(-1.0))
+}
+
+// ----- Number / Math -----
+
+fn number_ctor(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    match args.first() {
+        Some(v) => Ok(Value::Num(i.to_number_value(v)?)),
+        None => Ok(Value::Num(0.0)),
+    }
+}
+
+fn boolean_ctor(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    Ok(Value::Bool(i.truthy(&arg(args, 0))))
+}
+
+fn number_is_integer(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    Ok(Value::Bool(matches!(
+        arg(args, 0),
+        Value::Num(n) if n.fract() == 0.0 && n.is_finite()
+    ) && {
+        let _ = i;
+        true
+    }))
+}
+
+fn number_to_string(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let n = i.to_number_value(&this)?;
+    match args.first() {
+        Some(Value::Num(radix)) if *radix != 10.0 => {
+            let r = *radix as u32;
+            if !(2..=36).contains(&r) || !n.is_finite() {
+                return Ok(Value::from(crate::value::num_to_string(n)));
+            }
+            let mut v = n.trunc() as i64;
+            let neg = v < 0;
+            v = v.abs();
+            let digits = "0123456789abcdefghijklmnopqrstuvwxyz".as_bytes();
+            let mut out = Vec::new();
+            if v == 0 {
+                out.push(b'0');
+            }
+            while v > 0 {
+                out.push(digits[(v % r as i64) as usize]);
+                v /= r as i64;
+            }
+            if neg {
+                out.push(b'-');
+            }
+            out.reverse();
+            Ok(Value::from(String::from_utf8(out).unwrap_or_default()))
+        }
+        _ => Ok(Value::from(crate::value::num_to_string(n))),
+    }
+}
+
+fn number_to_fixed(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let n = i.to_number_value(&this)?;
+    let digits = i.to_number_value(&arg(args, 0))?.max(0.0) as usize;
+    Ok(Value::from(format!("{:.*}", digits.min(20), n)))
+}
+
+macro_rules! math_unary {
+    ($name:ident, $f:expr) => {
+        fn $name(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+            let n = i.to_number_value(&arg(args, 0))?;
+            #[allow(clippy::redundant_closure_call)]
+            Ok(Value::Num(($f)(n)))
+        }
+    };
+}
+
+math_unary!(math_floor, f64::floor);
+math_unary!(math_ceil, f64::ceil);
+math_unary!(math_round, f64::round);
+math_unary!(math_trunc, f64::trunc);
+math_unary!(math_abs, f64::abs);
+math_unary!(math_sqrt, f64::sqrt);
+math_unary!(math_log, f64::ln);
+math_unary!(math_exp, f64::exp);
+math_unary!(math_sign, f64::signum);
+
+fn math_pow(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let a = i.to_number_value(&arg(args, 0))?;
+    let b = i.to_number_value(&arg(args, 1))?;
+    Ok(Value::Num(a.powf(b)))
+}
+
+fn math_min(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let mut m = f64::INFINITY;
+    for a in args {
+        m = m.min(i.to_number_value(a)?);
+    }
+    Ok(Value::Num(m))
+}
+
+fn math_max(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let mut m = f64::NEG_INFINITY;
+    for a in args {
+        m = m.max(i.to_number_value(a)?);
+    }
+    Ok(Value::Num(m))
+}
+
+fn math_random(i: &mut Interp, _s: ObjId, _t: Value, _a: &[Value]) -> R {
+    Ok(Value::Num(i.next_random()))
+}
+
+// ----- globals -----
+
+fn global_parse_int(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let s = i.to_string_value(&arg(args, 0));
+    let t = s.trim();
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t.strip_prefix('+').unwrap_or(t)),
+    };
+    // An explicit radix wins; otherwise a 0x prefix selects hex.
+    let explicit = match args.get(1) {
+        Some(Value::Num(r)) if *r >= 2.0 && *r <= 36.0 => Some(*r as u32),
+        _ => None,
+    };
+    let has_hex_prefix = t.starts_with("0x") || t.starts_with("0X");
+    let radix = explicit.unwrap_or(if has_hex_prefix { 16 } else { 10 });
+    let t = if radix == 16 {
+        t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")).unwrap_or(t)
+    } else {
+        t
+    };
+    let digits: String = t
+        .chars()
+        .take_while(|c| c.is_digit(radix))
+        .collect();
+    if digits.is_empty() {
+        return Ok(Value::Num(f64::NAN));
+    }
+    let v = i64::from_str_radix(&digits, radix).unwrap_or(0) as f64;
+    Ok(Value::Num(if neg { -v } else { v }))
+}
+
+fn global_parse_float(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let s = i.to_string_value(&arg(args, 0));
+    let t = s.trim();
+    // Longest numeric prefix.
+    let mut end = 0;
+    let bytes = t.as_bytes();
+    let mut seen_dot = false;
+    let mut seen_e = false;
+    while end < bytes.len() {
+        let c = bytes[end] as char;
+        let ok = c.is_ascii_digit()
+            || (c == '-' && end == 0)
+            || (c == '+' && end == 0)
+            || (c == '.' && !seen_dot && !seen_e)
+            || ((c == 'e' || c == 'E') && !seen_e && end > 0);
+        if !ok {
+            break;
+        }
+        if c == '.' {
+            seen_dot = true;
+        }
+        if c == 'e' || c == 'E' {
+            seen_e = true;
+        }
+        end += 1;
+    }
+    Ok(Value::Num(t[..end].parse().unwrap_or(f64::NAN)))
+}
+
+fn global_is_nan(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let n = i.to_number_value(&arg(args, 0))?;
+    Ok(Value::Bool(n.is_nan()))
+}
+
+fn global_is_finite(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let n = i.to_number_value(&arg(args, 0))?;
+    Ok(Value::Bool(n.is_finite()))
+}
+
+/// Indirect `eval` (direct eval is intercepted in the call evaluator and
+/// runs in the caller's scope; this one runs in the global scope).
+fn global_eval(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    match arg(args, 0) {
+        Value::Str(code) => {
+            let scope = i.global_scope();
+            i.run_eval(&code, &scope)
+        }
+        other => Ok(other),
+    }
+}
+
+fn symbol_stub(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let desc = match args.first() {
+        Some(v) => i.to_string_value(v),
+        None => String::new(),
+    };
+    let n = i.heap.len();
+    Ok(Value::from(format!("Symbol({desc})#{n}")))
+}
+
+fn process_cwd(_i: &mut Interp, _s: ObjId, _t: Value, _a: &[Value]) -> R {
+    Ok(Value::str("/"))
+}
+
+// ----- errors -----
+
+fn error_ctor(i: &mut Interp, s: ObjId, _t: Value, args: &[Value]) -> R {
+    let msg = match args.first() {
+        Some(Value::Undefined) | None => String::new(),
+        Some(v) => i.to_string_value(v),
+    };
+    // Use this constructor's prototype so `instanceof TypeError` works.
+    let proto = match i.heap.own_prop(s, "prototype") {
+        Some(Prop {
+            value: PropValue::Data(Value::Obj(p)),
+            ..
+        }) => p,
+        _ => i.protos.error,
+    };
+    let site = i.pending_new_loc.or(i.current_call_site);
+    let e = i.heap.alloc_plain(Some(proto), site);
+    i.tracer.on_alloc(site);
+    i.heap.set_prop(e, "message", Value::from(msg));
+    i.heap.set_prop(e, "stack", Value::str("Error\n    at <anonymous>"));
+    Ok(Value::Obj(e))
+}
+
+fn error_to_string(i: &mut Interp, _s: ObjId, this: Value, _a: &[Value]) -> R {
+    let name = i.get_property(this.clone(), "name", None)?;
+    let msg = i.get_property(this.clone(), "message", None)?;
+    let name = i.to_string_value(&name);
+    let msg = i.to_string_value(&msg);
+    Ok(Value::from(if msg.is_empty() {
+        name
+    } else {
+        format!("{name}: {msg}")
+    }))
+}
+
+// ----- RegExp -----
+
+fn regexp_ctor(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let site = i.pending_new_loc.or(i.current_call_site);
+    let proto = i.protos.regexp;
+    let o = i.heap.alloc_plain(Some(proto), site);
+    i.tracer.on_alloc(site);
+    let src = i.to_string_value(&arg(args, 0));
+    let flags = match args.get(1) {
+        Some(Value::Undefined) | None => String::new(),
+        Some(v) => i.to_string_value(v),
+    };
+    i.heap.set_prop(o, "source", Value::from(src));
+    i.heap.set_prop(o, "flags", Value::from(flags));
+    i.heap.set_prop(o, "lastIndex", Value::Num(0.0));
+    Ok(Value::Obj(o))
+}
+
+/// Regex matching is approximated: `test` succeeds (keeping the common
+/// validation paths alive), `exec` yields no match.
+fn regexp_test(_i: &mut Interp, _s: ObjId, _t: Value, _a: &[Value]) -> R {
+    Ok(Value::Bool(true))
+}
+
+fn regexp_exec(_i: &mut Interp, _s: ObjId, _t: Value, _a: &[Value]) -> R {
+    Ok(Value::Null)
+}
+
+// ----- Date -----
+
+fn date_ctor(i: &mut Interp, s: ObjId, _t: Value, _a: &[Value]) -> R {
+    let proto = match i.heap.own_prop(s, "prototype") {
+        Some(Prop {
+            value: PropValue::Data(Value::Obj(p)),
+            ..
+        }) => p,
+        _ => i.protos.object,
+    };
+    let site = i.pending_new_loc.or(i.current_call_site);
+    let d = i.heap.alloc_plain(Some(proto), site);
+    i.tracer.on_alloc(site);
+    let t = deterministic_now(i);
+    i.heap.set_prop(d, "__time__", Value::Num(t));
+    Ok(Value::Obj(d))
+}
+
+fn deterministic_now(i: &mut Interp) -> f64 {
+    // A fixed epoch advanced by 1s per observation keeps runs reproducible
+    // while still looking like a clock to the program.
+    
+    1_700_000_000_000.0 + (i.heap.len() as f64) * 1000.0
+}
+
+fn date_now(i: &mut Interp, _s: ObjId, _t: Value, _a: &[Value]) -> R {
+    Ok(Value::Num(deterministic_now(i)))
+}
+
+fn date_get_time(i: &mut Interp, _s: ObjId, this: Value, _a: &[Value]) -> R {
+    match this.as_obj() {
+        Some(id) => match i.heap.own_prop(id, "__time__") {
+            Some(Prop {
+                value: PropValue::Data(v),
+                ..
+            }) => Ok(v),
+            _ => Ok(Value::Num(0.0)),
+        },
+        None => Ok(Value::Num(0.0)),
+    }
+}
+
+fn date_to_iso(_i: &mut Interp, _s: ObjId, _t: Value, _a: &[Value]) -> R {
+    Ok(Value::str("2023-11-14T22:13:20.000Z"))
+}
+
+// ----- Promise -----
+
+fn promise_new(i: &mut Interp, state: &str, value: Value) -> Value {
+    let proto = i.protos.promise;
+    let p = i.heap.alloc_plain(Some(proto), None);
+    i.heap.set_prop(p, "__state__", Value::str(state));
+    i.heap.set_prop(p, "__value__", value);
+    Value::Obj(p)
+}
+
+fn promise_ctor(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let p = promise_new(i, "pending", Value::Undefined);
+    let executor = arg(args, 0);
+    if i.heap.is_callable(&executor) {
+        let resolve = make_native(i, "promise_resolve_fn");
+        let reject = make_native(i, "promise_reject_fn");
+        for f in [&resolve, &reject] {
+            if let Some(fid) = f.as_obj() {
+                set_hidden(i, fid, "__promise__", p.clone());
+            }
+        }
+        // Executors run synchronously here.
+        let _ = i.call_value(executor, Value::Undefined, &[resolve, reject], None);
+    }
+    Ok(p)
+}
+
+fn promise_settle(i: &mut Interp, s: ObjId, state: &str, args: &[Value]) -> R {
+    if let Some(Prop {
+        value: PropValue::Data(Value::Obj(p)),
+        ..
+    }) = i.heap.own_prop(s, "__promise__")
+    {
+        i.heap.set_prop(p, "__state__", Value::str(state));
+        i.heap.set_prop(p, "__value__", arg(args, 0));
+    }
+    Ok(Value::Undefined)
+}
+
+fn promise_resolve_fn(i: &mut Interp, s: ObjId, _t: Value, args: &[Value]) -> R {
+    promise_settle(i, s, "fulfilled", args)
+}
+
+fn promise_reject_fn(i: &mut Interp, s: ObjId, _t: Value, args: &[Value]) -> R {
+    promise_settle(i, s, "rejected", args)
+}
+
+fn promise_state(i: &Interp, p: &Value) -> (String, Value) {
+    let Some(id) = p.as_obj() else {
+        return ("fulfilled".into(), p.clone());
+    };
+    let state = match i.heap.own_prop(id, "__state__") {
+        Some(Prop {
+            value: PropValue::Data(Value::Str(s)),
+            ..
+        }) => s.to_string(),
+        _ => return ("fulfilled".into(), p.clone()),
+    };
+    let value = match i.heap.own_prop(id, "__value__") {
+        Some(Prop {
+            value: PropValue::Data(v),
+            ..
+        }) => v,
+        _ => Value::Undefined,
+    };
+    (state, value)
+}
+
+fn promise_then(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let (state, value) = promise_state(i, &this);
+    let on_ok = arg(args, 0);
+    let on_err = arg(args, 1);
+    let result = match state.as_str() {
+        "fulfilled" if i.heap.is_callable(&on_ok) => {
+            i.call_value(on_ok, Value::Undefined, &[value], None)?
+        }
+        "rejected" if i.heap.is_callable(&on_err) => {
+            i.call_value(on_err, Value::Undefined, &[value], None)?
+        }
+        _ => value,
+    };
+    Ok(promise_new(i, "fulfilled", result))
+}
+
+fn promise_catch(i: &mut Interp, s: ObjId, this: Value, args: &[Value]) -> R {
+    promise_then(i, s, this, &[Value::Undefined, arg(args, 0)])
+}
+
+fn promise_finally(i: &mut Interp, _s: ObjId, this: Value, args: &[Value]) -> R {
+    let cb = arg(args, 0);
+    if i.heap.is_callable(&cb) {
+        i.call_value(cb, Value::Undefined, &[], None)?;
+    }
+    Ok(this)
+}
+
+fn promise_resolve_static(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    Ok(promise_new(i, "fulfilled", arg(args, 0)))
+}
+
+fn promise_reject_static(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    Ok(promise_new(i, "rejected", arg(args, 0)))
+}
+
+fn promise_all(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let items = i.iterate_values(&arg(args, 0))?;
+    let mut values = Vec::with_capacity(items.len());
+    for item in items {
+        let (_, v) = promise_state(i, &item);
+        values.push(v);
+    }
+    let arr = new_array(i, values);
+    Ok(promise_new(i, "fulfilled", arr))
+}
+
+// ----- JSON -----
+
+fn json_stringify(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let mut out = String::new();
+    if stringify_value(i, &arg(args, 0), &mut out, 0) {
+        Ok(Value::from(out))
+    } else {
+        Ok(Value::Undefined)
+    }
+}
+
+fn stringify_value(i: &mut Interp, v: &Value, out: &mut String, depth: u32) -> bool {
+    if depth > 24 {
+        out.push_str("null");
+        return true;
+    }
+    match v {
+        Value::Undefined => false,
+        Value::Null => {
+            out.push_str("null");
+            true
+        }
+        Value::Bool(b) => {
+            out.push_str(if *b { "true" } else { "false" });
+            true
+        }
+        Value::Num(n) => {
+            if n.is_finite() {
+                out.push_str(&crate::value::num_to_string(*n));
+            } else {
+                out.push_str("null");
+            }
+            true
+        }
+        Value::Str(s) => {
+            out.push_str(&aji_ast::print::quote_str(s));
+            true
+        }
+        Value::Obj(id) => {
+            let kind = i.heap.get(*id).kind.clone();
+            match kind {
+                ObjKind::Array(elems) => {
+                    out.push('[');
+                    for (k, e) in elems.iter().enumerate() {
+                        if k > 0 {
+                            out.push(',');
+                        }
+                        if !stringify_value(i, e, out, depth + 1) {
+                            out.push_str("null");
+                        }
+                    }
+                    out.push(']');
+                    true
+                }
+                ObjKind::Function(_) | ObjKind::Native(_) | ObjKind::Proxy => false,
+                ObjKind::Plain => {
+                    out.push('{');
+                    let mut first = true;
+                    for k in i.heap.own_enumerable_keys(*id) {
+                        let pv = match i.get_property(v.clone(), &k, None) {
+                            Ok(pv) => pv,
+                            Err(_) => continue,
+                        };
+                        let mut piece = String::new();
+                        if stringify_value(i, &pv, &mut piece, depth + 1) {
+                            if !first {
+                                out.push(',');
+                            }
+                            first = false;
+                            out.push_str(&aji_ast::print::quote_str(&k));
+                            out.push(':');
+                            out.push_str(&piece);
+                        }
+                    }
+                    out.push('}');
+                    true
+                }
+            }
+        }
+    }
+}
+
+fn json_parse(i: &mut Interp, _s: ObjId, _t: Value, args: &[Value]) -> R {
+    let text = i.to_string_value(&arg(args, 0));
+    let mut p = JsonParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.ws();
+    match p.value(i) {
+        Some(v) => Ok(v),
+        None => Err(i.throw_error("SyntaxError", "Unexpected token in JSON")),
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn peek(&self) -> u8 {
+        *self.bytes.get(self.pos).unwrap_or(&0)
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), b' ' | b'\t' | b'\n' | b'\r') {
+            self.pos += 1;
+        }
+    }
+
+    fn value(&mut self, i: &mut Interp) -> Option<Value> {
+        self.ws();
+        match self.peek() {
+            b'{' => {
+                self.pos += 1;
+                let site = i.current_call_site;
+                let o = i.heap.alloc_plain(Some(i.protos.object), site);
+                i.tracer.on_alloc(site);
+                self.ws();
+                if self.peek() == b'}' {
+                    self.pos += 1;
+                    return Some(Value::Obj(o));
+                }
+                loop {
+                    self.ws();
+                    let k = self.string()?;
+                    self.ws();
+                    if self.peek() != b':' {
+                        return None;
+                    }
+                    self.pos += 1;
+                    let v = self.value(i)?;
+                    i.heap.set_prop(o, &k, v);
+                    self.ws();
+                    match self.peek() {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Some(Value::Obj(o));
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+            b'[' => {
+                self.pos += 1;
+                let mut elems = Vec::new();
+                self.ws();
+                if self.peek() == b']' {
+                    self.pos += 1;
+                    return Some(new_array(i, elems));
+                }
+                loop {
+                    let v = self.value(i)?;
+                    elems.push(v);
+                    self.ws();
+                    match self.peek() {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Some(new_array(i, elems));
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+            b'"' => self.string().map(Value::from),
+            b't' => {
+                if self.bytes[self.pos..].starts_with(b"true") {
+                    self.pos += 4;
+                    Some(Value::Bool(true))
+                } else {
+                    None
+                }
+            }
+            b'f' => {
+                if self.bytes[self.pos..].starts_with(b"false") {
+                    self.pos += 5;
+                    Some(Value::Bool(false))
+                } else {
+                    None
+                }
+            }
+            b'n' => {
+                if self.bytes[self.pos..].starts_with(b"null") {
+                    self.pos += 4;
+                    Some(Value::Null)
+                } else {
+                    None
+                }
+            }
+            _ => {
+                let start = self.pos;
+                if self.peek() == b'-' {
+                    self.pos += 1;
+                }
+                while matches!(self.peek(), b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+                    self.pos += 1;
+                }
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .ok()?
+                    .parse::<f64>()
+                    .ok()
+                    .map(Value::Num)
+            }
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        if self.peek() != b'"' {
+            return None;
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let c = self.peek();
+            self.pos += 1;
+            match c {
+                0 => return None,
+                b'"' => return Some(out),
+                b'\\' => {
+                    let e = self.peek();
+                    self.pos += 1;
+                    match e {
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos..self.pos + 4)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => out.push(other as char),
+                    }
+                }
+                c if c < 0x80 => out.push(c as char),
+                c => {
+                    let start = self.pos - 1;
+                    let len = if c >= 0xf0 {
+                        4
+                    } else if c >= 0xe0 {
+                        3
+                    } else {
+                        2
+                    };
+                    self.pos = (start + len).min(self.bytes.len());
+                    if let Ok(s) = std::str::from_utf8(&self.bytes[start..self.pos]) {
+                        out.push_str(s);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Table of every native, used by [`native_id`].
+static NATIVE_TABLE: &[(&str, NativeFn)] = &[
+    ("noop", noop),
+    ("identity_this", identity_this),
+    ("identity_first_arg", identity_first_arg),
+    ("identity_first_arg_str", identity_first_arg_str),
+    ("return_false", return_false),
+    ("console_log", console_log),
+    ("timer_immediate", timer_immediate),
+    ("mock_io", mock_io),
+    ("require", require),
+    ("require_resolve", require_resolve),
+    ("object_ctor", object_ctor),
+    ("object_keys", object_keys),
+    ("object_values", object_values),
+    ("object_entries", object_entries),
+    ("object_assign", object_assign),
+    ("object_create", object_create),
+    ("object_define_property", object_define_property),
+    ("object_define_properties", object_define_properties),
+    ("object_get_own_property_names", object_get_own_property_names),
+    (
+        "object_get_own_property_descriptor",
+        object_get_own_property_descriptor,
+    ),
+    ("object_get_prototype_of", object_get_prototype_of),
+    ("object_set_prototype_of", object_set_prototype_of),
+    ("object_has_own", object_has_own),
+    ("object_to_string", object_to_string),
+    ("object_is_prototype_of", object_is_prototype_of),
+    ("object_prop_is_enumerable", object_prop_is_enumerable),
+    ("function_call", function_call),
+    ("function_apply", function_apply),
+    ("function_bind", function_bind),
+    ("function_to_string", function_to_string),
+    ("function_ctor", function_ctor),
+    ("array_ctor", array_ctor),
+    ("array_is_array", array_is_array),
+    ("array_from", array_from),
+    ("array_of", array_of),
+    ("array_push", array_push),
+    ("array_pop", array_pop),
+    ("array_shift", array_shift),
+    ("array_unshift", array_unshift),
+    ("array_slice", array_slice),
+    ("array_splice", array_splice),
+    ("array_concat", array_concat),
+    ("array_join", array_join),
+    ("array_index_of", array_index_of),
+    ("array_last_index_of", array_last_index_of),
+    ("array_includes", array_includes),
+    ("array_for_each", array_for_each),
+    ("array_map", array_map),
+    ("array_filter", array_filter),
+    ("array_reduce", array_reduce),
+    ("array_reduce_right", array_reduce_right),
+    ("array_some", array_some),
+    ("array_every", array_every),
+    ("array_find", array_find),
+    ("array_find_index", array_find_index),
+    ("array_sort", array_sort),
+    ("array_reverse", array_reverse),
+    ("array_fill", array_fill),
+    ("array_flat", array_flat),
+    ("array_to_string", array_to_string),
+    ("string_ctor", string_ctor),
+    ("string_from_char_code", string_from_char_code),
+    ("string_char_at", string_char_at),
+    ("string_char_code_at", string_char_code_at),
+    ("string_index_of", string_index_of),
+    ("string_last_index_of", string_last_index_of),
+    ("string_includes", string_includes),
+    ("string_starts_with", string_starts_with),
+    ("string_ends_with", string_ends_with),
+    ("string_slice", string_slice),
+    ("string_substring", string_substring),
+    ("string_substr", string_substr),
+    ("string_to_upper", string_to_upper),
+    ("string_to_lower", string_to_lower),
+    ("string_trim", string_trim),
+    ("string_split", string_split),
+    ("string_replace", string_replace),
+    ("string_replace_all", string_replace_all),
+    ("string_concat", string_concat),
+    ("string_repeat", string_repeat),
+    ("string_pad_start", string_pad_start),
+    ("string_pad_end", string_pad_end),
+    ("string_match", string_match),
+    ("string_search", string_search),
+    ("number_ctor", number_ctor),
+    ("boolean_ctor", boolean_ctor),
+    ("number_is_integer", number_is_integer),
+    ("number_to_string", number_to_string),
+    ("number_to_fixed", number_to_fixed),
+    ("math_floor", math_floor),
+    ("math_ceil", math_ceil),
+    ("math_round", math_round),
+    ("math_trunc", math_trunc),
+    ("math_abs", math_abs),
+    ("math_sqrt", math_sqrt),
+    ("math_pow", math_pow),
+    ("math_min", math_min),
+    ("math_max", math_max),
+    ("math_random", math_random),
+    ("math_log", math_log),
+    ("math_exp", math_exp),
+    ("math_sign", math_sign),
+    ("global_parse_int", global_parse_int),
+    ("global_parse_float", global_parse_float),
+    ("global_is_nan", global_is_nan),
+    ("global_is_finite", global_is_finite),
+    ("global_eval", global_eval),
+    ("symbol_stub", symbol_stub),
+    ("process_cwd", process_cwd),
+    ("error_ctor", error_ctor),
+    ("error_to_string", error_to_string),
+    ("regexp_ctor", regexp_ctor),
+    ("regexp_test", regexp_test),
+    ("regexp_exec", regexp_exec),
+    ("date_ctor", date_ctor),
+    ("date_now", date_now),
+    ("date_get_time", date_get_time),
+    ("date_to_iso", date_to_iso),
+    ("promise_ctor", promise_ctor),
+    ("promise_resolve_fn", promise_resolve_fn),
+    ("promise_reject_fn", promise_reject_fn),
+    ("promise_then", promise_then),
+    ("promise_catch", promise_catch),
+    ("promise_finally", promise_finally),
+    ("promise_resolve_static", promise_resolve_static),
+    ("promise_reject_static", promise_reject_static),
+    ("promise_all", promise_all),
+    ("json_stringify", json_stringify),
+    ("json_parse", json_parse),
+];

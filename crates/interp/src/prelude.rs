@@ -1,0 +1,395 @@
+//! Node.js core modules implemented as embedded JavaScript, executed by
+//! the interpreter itself. Modules that only shuffle data (`events`,
+//! `util`, `path`, `assert`, `querystring`, `url`) get real semantics;
+//! modules that touch the outside world (`fs`, `http`, ...) are replaced
+//! by sandbox mocks (see `builtins::make_mock`), as §3 of the paper
+//! prescribes.
+
+/// JavaScript source of a core module, if we model it with real code.
+pub fn source(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "events" | "node:events" => EVENTS,
+        "util" | "node:util" => UTIL,
+        "path" | "node:path" => PATH,
+        "assert" | "node:assert" => ASSERT,
+        "querystring" | "node:querystring" => QUERYSTRING,
+        "url" | "node:url" => URL,
+        _ => return None,
+    })
+}
+
+/// Whether the name is a Node.js core module we replace with a sandbox
+/// mock.
+pub fn is_mocked(name: &str) -> bool {
+    let name = name.strip_prefix("node:").unwrap_or(name);
+    matches!(
+        name,
+        "fs" | "http"
+            | "https"
+            | "net"
+            | "os"
+            | "crypto"
+            | "child_process"
+            | "stream"
+            | "zlib"
+            | "cluster"
+            | "dns"
+            | "tls"
+            | "readline"
+            | "worker_threads"
+            | "tty"
+            | "dgram"
+            | "vm"
+            | "buffer"
+            | "string_decoder"
+            | "timers"
+            | "constants"
+            | "module"
+            | "v8"
+            | "perf_hooks"
+            | "http2"
+            | "repl"
+            | "inspector"
+            | "async_hooks"
+            | "domain"
+            | "punycode"
+            | "fs/promises"
+            | "dns/promises"
+            | "timers/promises"
+    )
+}
+
+const EVENTS: &str = r#"
+function EventEmitter() {
+  this._events = {};
+}
+
+EventEmitter.prototype.on = function(type, listener) {
+  if (!this._events) this._events = {};
+  var list = this._events[type];
+  if (!list) {
+    list = [];
+    this._events[type] = list;
+  }
+  list.push(listener);
+  return this;
+};
+EventEmitter.prototype.addListener = EventEmitter.prototype.on;
+EventEmitter.prototype.prependListener = EventEmitter.prototype.on;
+EventEmitter.prototype.once = function(type, listener) {
+  return this.on(type, listener);
+};
+EventEmitter.prototype.emit = function(type) {
+  if (!this._events) return false;
+  var list = this._events[type];
+  if (!list || list.length === 0) return false;
+  var args = Array.prototype.slice.call(arguments, 1);
+  for (var i = 0; i < list.length; i++) {
+    list[i].apply(this, args);
+  }
+  return true;
+};
+EventEmitter.prototype.removeListener = function(type, listener) {
+  if (!this._events) return this;
+  var list = this._events[type];
+  if (!list) return this;
+  var idx = list.indexOf(listener);
+  if (idx >= 0) list.splice(idx, 1);
+  return this;
+};
+EventEmitter.prototype.off = EventEmitter.prototype.removeListener;
+EventEmitter.prototype.removeAllListeners = function(type) {
+  if (!this._events) return this;
+  if (type === undefined) {
+    this._events = {};
+  } else {
+    this._events[type] = [];
+  }
+  return this;
+};
+EventEmitter.prototype.listeners = function(type) {
+  return (this._events && this._events[type]) || [];
+};
+EventEmitter.prototype.listenerCount = function(type) {
+  return this.listeners(type).length;
+};
+EventEmitter.prototype.setMaxListeners = function() { return this; };
+EventEmitter.prototype.getMaxListeners = function() { return 10; };
+EventEmitter.prototype.eventNames = function() {
+  return this._events ? Object.keys(this._events) : [];
+};
+
+module.exports = EventEmitter;
+module.exports.EventEmitter = EventEmitter;
+module.exports.defaultMaxListeners = 10;
+"#;
+
+const UTIL: &str = r#"
+exports.inherits = function(ctor, superCtor) {
+  ctor.super_ = superCtor;
+  ctor.prototype = Object.create(superCtor.prototype, {
+    constructor: { value: ctor, enumerable: false, writable: true, configurable: true }
+  });
+};
+exports.format = function(f) {
+  var parts = [];
+  for (var i = 0; i < arguments.length; i++) {
+    parts.push(String(arguments[i]));
+  }
+  return parts.join(' ');
+};
+exports.isArray = Array.isArray;
+exports.isFunction = function(x) { return typeof x === 'function'; };
+exports.isObject = function(x) { return typeof x === 'object' && x !== null; };
+exports.isString = function(x) { return typeof x === 'string'; };
+exports.isNumber = function(x) { return typeof x === 'number'; };
+exports.isUndefined = function(x) { return x === undefined; };
+exports.isNullOrUndefined = function(x) { return x === null || x === undefined; };
+exports.deprecate = function(fn) { return fn; };
+exports.promisify = function(fn) { return fn; };
+exports.inspect = function(x) { return String(x); };
+exports._extend = function(target, source) {
+  if (!source || typeof source !== 'object') return target;
+  var keys = Object.keys(source);
+  for (var i = 0; i < keys.length; i++) {
+    target[keys[i]] = source[keys[i]];
+  }
+  return target;
+};
+"#;
+
+const PATH: &str = r#"
+function normalizeParts(path) {
+  var segs = path.split('/');
+  var out = [];
+  for (var i = 0; i < segs.length; i++) {
+    var s = segs[i];
+    if (s === '' || s === '.') continue;
+    if (s === '..') {
+      out.pop();
+    } else {
+      out.push(s);
+    }
+  }
+  return out;
+}
+
+exports.sep = '/';
+exports.delimiter = ':';
+exports.normalize = function(p) {
+  var abs = p.charAt(0) === '/';
+  var n = normalizeParts(p).join('/');
+  return abs ? '/' + n : (n || '.');
+};
+exports.join = function() {
+  var parts = [];
+  for (var i = 0; i < arguments.length; i++) {
+    var a = arguments[i];
+    if (a !== undefined && a !== null && a !== '') parts.push(String(a));
+  }
+  return exports.normalize(parts.join('/'));
+};
+exports.resolve = function() {
+  var resolved = '';
+  for (var i = 0; i < arguments.length; i++) {
+    var a = String(arguments[i]);
+    if (a.charAt(0) === '/') {
+      resolved = a;
+    } else {
+      resolved = resolved === '' ? a : resolved + '/' + a;
+    }
+  }
+  if (resolved.charAt(0) !== '/') resolved = '/' + resolved;
+  return '/' + normalizeParts(resolved).join('/');
+};
+exports.dirname = function(p) {
+  var idx = p.lastIndexOf('/');
+  if (idx < 0) return '.';
+  if (idx === 0) return '/';
+  return p.slice(0, idx);
+};
+exports.basename = function(p, ext) {
+  var idx = p.lastIndexOf('/');
+  var base = idx < 0 ? p : p.slice(idx + 1);
+  if (ext && base.endsWith(ext)) {
+    base = base.slice(0, base.length - ext.length);
+  }
+  return base;
+};
+exports.extname = function(p) {
+  var base = exports.basename(p);
+  var idx = base.lastIndexOf('.');
+  return idx <= 0 ? '' : base.slice(idx);
+};
+exports.isAbsolute = function(p) { return p.charAt(0) === '/'; };
+exports.relative = function(from, to) { return to; };
+exports.parse = function(p) {
+  return {
+    root: exports.isAbsolute(p) ? '/' : '',
+    dir: exports.dirname(p),
+    base: exports.basename(p),
+    ext: exports.extname(p),
+    name: exports.basename(p, exports.extname(p))
+  };
+};
+exports.posix = exports;
+"#;
+
+const ASSERT: &str = r#"
+function AssertionError(message) {
+  var e = new Error(message);
+  e.name = 'AssertionError';
+  return e;
+}
+
+function assert(value, message) {
+  if (!value) throw AssertionError(message || 'assertion failed');
+}
+
+assert.ok = assert;
+assert.equal = function(actual, expected, message) {
+  if (actual != expected) {
+    throw AssertionError(message || (actual + ' != ' + expected));
+  }
+};
+assert.notEqual = function(actual, expected, message) {
+  if (actual == expected) {
+    throw AssertionError(message || (actual + ' == ' + expected));
+  }
+};
+assert.strictEqual = function(actual, expected, message) {
+  if (actual !== expected) {
+    throw AssertionError(message || (actual + ' !== ' + expected));
+  }
+};
+assert.notStrictEqual = function(actual, expected, message) {
+  if (actual === expected) {
+    throw AssertionError(message || (actual + ' === ' + expected));
+  }
+};
+assert.deepEqual = function(actual, expected, message) {
+  if (JSON.stringify(actual) !== JSON.stringify(expected)) {
+    throw AssertionError(message || 'deepEqual failed');
+  }
+};
+assert.deepStrictEqual = assert.deepEqual;
+assert.throws = function(fn, message) {
+  try {
+    fn();
+  } catch (e) {
+    return;
+  }
+  throw AssertionError(message || 'missing expected exception');
+};
+assert.doesNotThrow = function(fn) { fn(); };
+assert.fail = function(message) {
+  throw AssertionError(message || 'failed');
+};
+assert.AssertionError = AssertionError;
+
+module.exports = assert;
+"#;
+
+const QUERYSTRING: &str = r#"
+exports.parse = function(qs) {
+  var out = {};
+  if (!qs) return out;
+  var pairs = String(qs).split('&');
+  for (var i = 0; i < pairs.length; i++) {
+    var idx = pairs[i].indexOf('=');
+    if (idx < 0) {
+      out[pairs[i]] = '';
+    } else {
+      out[pairs[i].slice(0, idx)] = pairs[i].slice(idx + 1);
+    }
+  }
+  return out;
+};
+exports.stringify = function(obj) {
+  var keys = Object.keys(obj || {});
+  var parts = [];
+  for (var i = 0; i < keys.length; i++) {
+    parts.push(keys[i] + '=' + String(obj[keys[i]]));
+  }
+  return parts.join('&');
+};
+exports.decode = exports.parse;
+exports.encode = exports.stringify;
+"#;
+
+const URL: &str = r#"
+function parseUrl(u) {
+  u = String(u);
+  var protocol = '';
+  var rest = u;
+  var idx = u.indexOf('://');
+  if (idx >= 0) {
+    protocol = u.slice(0, idx + 1);
+    rest = u.slice(idx + 3);
+  }
+  var hash = '';
+  var h = rest.indexOf('#');
+  if (h >= 0) {
+    hash = rest.slice(h);
+    rest = rest.slice(0, h);
+  }
+  var search = '';
+  var q = rest.indexOf('?');
+  if (q >= 0) {
+    search = rest.slice(q);
+    rest = rest.slice(0, q);
+  }
+  var host = '';
+  var pathname = rest;
+  if (protocol) {
+    var slash = rest.indexOf('/');
+    if (slash >= 0) {
+      host = rest.slice(0, slash);
+      pathname = rest.slice(slash);
+    } else {
+      host = rest;
+      pathname = '/';
+    }
+  }
+  return {
+    href: u,
+    protocol: protocol,
+    host: host,
+    hostname: host.split(':')[0],
+    pathname: pathname,
+    search: search,
+    query: search ? search.slice(1) : '',
+    hash: hash
+  };
+}
+
+exports.parse = parseUrl;
+exports.format = function(o) { return (o && o.href) || ''; };
+exports.resolve = function(from, to) { return to; };
+exports.URL = function URL(u) {
+  var p = parseUrl(u);
+  this.href = p.href;
+  this.protocol = p.protocol;
+  this.host = p.host;
+  this.hostname = p.hostname;
+  this.pathname = p.pathname;
+  this.search = p.search;
+  this.hash = p.hash;
+};
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prelude_lookup() {
+        assert!(source("events").is_some());
+        assert!(source("node:path").is_some());
+        assert!(source("fs").is_none());
+        assert!(is_mocked("fs"));
+        assert!(is_mocked("node:http"));
+        assert!(!is_mocked("events"));
+        assert!(!is_mocked("express"));
+    }
+}

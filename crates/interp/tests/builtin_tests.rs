@@ -1,0 +1,523 @@
+//! Focused tests for the standard-library models: `Object` statics,
+//! array and string methods, JSON, numbers, promises, errors, prototypes
+//! and the Node core-module implementations.
+
+use aji_ast::Project;
+use aji_interp::Interp;
+
+fn run(src: &str) -> String {
+    let mut p = Project::new("t");
+    p.add_file("index.js", src);
+    let mut interp = Interp::new(&p).expect("parse");
+    let exports = interp.run_module("index.js").unwrap_or_else(|e| {
+        panic!("run failed: {e}\nsource:\n{src}")
+    });
+    let r = interp
+        .get_property_public(&exports, "result")
+        .expect("result");
+    interp.to_string_public(&r)
+}
+
+// ----- Object statics -----
+
+#[test]
+fn object_entries_and_values() {
+    assert_eq!(
+        run("exports.result = Object.entries({ a: 1, b: 2 }).map(e => e[0] + e[1]).join('|');"),
+        "a1|b2"
+    );
+}
+
+#[test]
+fn object_define_property_getter_setter() {
+    assert_eq!(
+        run("var o = { _x: 3 };\n\
+             Object.defineProperty(o, 'x', {\n\
+             get: function() { return this._x * 2; },\n\
+             set: function(v) { this._x = v; }\n\
+             });\n\
+             o.x = 10;\n\
+             exports.result = o.x;"),
+        "20"
+    );
+}
+
+#[test]
+fn object_define_properties_bulk() {
+    assert_eq!(
+        run("var o = {};\n\
+             Object.defineProperties(o, { a: { value: 1 }, b: { value: 2 } });\n\
+             exports.result = o.a + o.b;"),
+        "3"
+    );
+}
+
+#[test]
+fn object_get_own_property_names_vs_keys() {
+    assert_eq!(
+        run("var o = { vis: 1 };\n\
+             Object.defineProperty(o, 'hidden', { value: 2, enumerable: false });\n\
+             exports.result = Object.keys(o).length + ':' + Object.getOwnPropertyNames(o).length;"),
+        "1:2"
+    );
+}
+
+#[test]
+fn object_create_with_descriptor_map() {
+    assert_eq!(
+        run("var base = { greet: function() { return 'hi ' + this.name; } };\n\
+             var o = Object.create(base, { name: { value: 'ada', enumerable: true } });\n\
+             exports.result = o.greet();"),
+        "hi ada"
+    );
+}
+
+#[test]
+fn object_assign_returns_target_and_overwrites() {
+    assert_eq!(
+        run("var t = { a: 1 };\n\
+             var r = Object.assign(t, { a: 2, b: 3 });\n\
+             exports.result = (r === t) + ':' + t.a + t.b;"),
+        "true:23"
+    );
+}
+
+#[test]
+fn get_set_prototype_of() {
+    assert_eq!(
+        run("var proto = { kind: 'p' };\n\
+             var o = {};\n\
+             Object.setPrototypeOf(o, proto);\n\
+             exports.result = (Object.getPrototypeOf(o) === proto) + ':' + o.kind;"),
+        "true:p"
+    );
+}
+
+#[test]
+fn has_own_property_and_is_prototype_of() {
+    assert_eq!(
+        run("var proto = { shared: 1 };\n\
+             var o = Object.create(proto);\n\
+             o.own = 2;\n\
+             exports.result = o.hasOwnProperty('own') + ':' + o.hasOwnProperty('shared') + ':' + proto.isPrototypeOf(o);"),
+        "true:false:true"
+    );
+}
+
+// ----- arrays -----
+
+#[test]
+fn array_higher_order_chain() {
+    assert_eq!(
+        run("exports.result = [1,2,3,4,5].filter(x => x % 2).map(x => x * 10).reduce((a,b) => a + b, 0);"),
+        "90"
+    );
+}
+
+#[test]
+fn array_find_and_find_index() {
+    assert_eq!(run("exports.result = [5, 12, 8].find(x => x > 9);"), "12");
+    assert_eq!(run("exports.result = [5, 12, 8].findIndex(x => x > 9);"), "1");
+    assert_eq!(run("exports.result = [5].find(x => x > 9);"), "undefined");
+}
+
+#[test]
+fn array_sort_with_comparator() {
+    assert_eq!(
+        run("exports.result = [5, 1, 4, 2].sort(function(a, b) { return a - b; }).join('');"),
+        "1245"
+    );
+    assert_eq!(
+        run("exports.result = [5, 1, 4, 2].sort(function(a, b) { return b - a; }).join('');"),
+        "5421"
+    );
+}
+
+#[test]
+fn array_splice_inserts() {
+    assert_eq!(
+        run("var a = [1, 4]; a.splice(1, 0, 2, 3); exports.result = a.join('');"),
+        "1234"
+    );
+    assert_eq!(
+        run("var a = [1, 2, 3]; var r = a.splice(0, 2); exports.result = r.join('') + ':' + a.join('');"),
+        "12:3"
+    );
+}
+
+#[test]
+fn array_shift_unshift() {
+    assert_eq!(
+        run("var a = [2, 3]; a.unshift(1); var x = a.shift(); exports.result = x + ':' + a.join('');"),
+        "1:23"
+    );
+}
+
+#[test]
+fn array_reverse_and_fill() {
+    assert_eq!(run("exports.result = [1,2,3].reverse().join('');"), "321");
+    assert_eq!(run("exports.result = [1,2,3].fill(0).join('');"), "000");
+}
+
+#[test]
+fn array_like_arguments_slice() {
+    assert_eq!(
+        run("function f() { return Array.prototype.slice.call(arguments, 1).join('-'); }\n\
+             exports.result = f('skip', 'a', 'b');"),
+        "a-b"
+    );
+}
+
+#[test]
+fn array_reduce_right() {
+    assert_eq!(
+        run("exports.result = ['a','b','c'].reduceRight(function(acc, x) { return acc + x; }, '');"),
+        "cba"
+    );
+}
+
+#[test]
+fn spread_in_calls_and_arrays() {
+    assert_eq!(
+        run("function add3(a, b, c) { return a + b + c; }\n\
+             var args = [1, 2, 3];\n\
+             exports.result = add3(...args) + ':' + [0, ...args, 4].join('');"),
+        "6:01234"
+    );
+}
+
+// ----- strings -----
+
+#[test]
+fn string_split_edge_cases() {
+    assert_eq!(run("exports.result = ''.split(',').length;"), "1");
+    assert_eq!(run("exports.result = 'abc'.split('').join('|');"), "a|b|c");
+    assert_eq!(run("exports.result = 'a,b,c'.split(',', 2).join('|');"), "a|b");
+}
+
+#[test]
+fn string_search_methods() {
+    assert_eq!(run("exports.result = 'hello'.lastIndexOf('l');"), "3");
+    assert_eq!(run("exports.result = 'hello'.includes('ell');"), "true");
+    assert_eq!(run("exports.result = 'hello'.substring(1, 3);"), "el");
+    assert_eq!(run("exports.result = 'hello'.substr(1, 3);"), "ell");
+}
+
+#[test]
+fn string_replace_with_function() {
+    assert_eq!(
+        run("exports.result = 'abc'.replace('b', function(m) { return m.toUpperCase(); });"),
+        "aBc"
+    );
+}
+
+#[test]
+fn unicode_string_handling() {
+    assert_eq!(run("exports.result = 'héllo'.length;"), "5");
+    assert_eq!(run("exports.result = 'héllo'.charAt(1);"), "é");
+    assert_eq!(run("exports.result = '😀x'.charAt(1);"), "x");
+}
+
+// ----- numbers -----
+
+#[test]
+fn number_formatting() {
+    assert_eq!(run("exports.result = (3.14159).toFixed(3);"), "3.142");
+    assert_eq!(run("exports.result = (10).toString(2);"), "1010");
+    assert_eq!(run("exports.result = (-255).toString(16);"), "-ff");
+    assert_eq!(run("exports.result = Number('12.5');"), "12.5");
+    assert_eq!(run("exports.result = Number.isInteger(4) + ':' + Number.isInteger(4.5);"), "true:false");
+}
+
+#[test]
+fn parse_int_radices() {
+    assert_eq!(run("exports.result = parseInt('0x1A');"), "26");
+    assert_eq!(run("exports.result = parseInt('101', 2);"), "5");
+    assert_eq!(run("exports.result = parseInt('  -42  ');"), "-42");
+    assert_eq!(run("exports.result = isNaN(parseInt('zz'));"), "true");
+}
+
+// ----- JSON -----
+
+#[test]
+fn json_stringify_skips_functions_and_undefined() {
+    assert_eq!(
+        run("exports.result = JSON.stringify({ a: 1, f: function() {}, u: undefined });"),
+        "{\"a\":1}"
+    );
+    assert_eq!(
+        run("exports.result = JSON.stringify([1, undefined, function() {}]);"),
+        "[1,null,null]"
+    );
+}
+
+#[test]
+fn json_parse_nested() {
+    assert_eq!(
+        run("var o = JSON.parse('{\"a\": {\"b\": [1, {\"c\": true}]}}');\n\
+             exports.result = o.a.b[1].c;"),
+        "true"
+    );
+}
+
+#[test]
+fn json_parse_escapes() {
+    assert_eq!(
+        run(r#"exports.result = JSON.parse('"a\\nb\\u0041"');"#),
+        "a\nbA"
+    );
+}
+
+#[test]
+fn json_parse_invalid_throws() {
+    assert_eq!(
+        run("var r = 'no'; try { JSON.parse('{bad'); } catch (e) { r = e.name; } exports.result = r;"),
+        "SyntaxError"
+    );
+}
+
+// ----- errors and prototypes -----
+
+#[test]
+fn error_subtype_instanceof_chain() {
+    assert_eq!(
+        run("var e = new TypeError('t');\n\
+             exports.result = (e instanceof TypeError) + ':' + (e instanceof Error) + ':' + e.name + ':' + e.message;"),
+        "true:true:TypeError:t"
+    );
+}
+
+#[test]
+fn error_to_string() {
+    assert_eq!(
+        run("exports.result = new RangeError('out of range').toString();"),
+        "RangeError: out of range"
+    );
+}
+
+#[test]
+fn constructor_property() {
+    assert_eq!(
+        run("function F() {}\nvar o = new F();\nexports.result = o.constructor === F;"),
+        "true"
+    );
+}
+
+#[test]
+fn prototype_shadowing() {
+    assert_eq!(
+        run("function F() {}\n\
+             F.prototype.m = function() { return 'proto'; };\n\
+             var o = new F();\n\
+             o.m = function() { return 'own'; };\n\
+             var p = new F();\n\
+             exports.result = o.m() + ':' + p.m();"),
+        "own:proto"
+    );
+}
+
+// ----- promises and timers -----
+
+#[test]
+fn promise_chaining() {
+    assert_eq!(
+        run("var r;\n\
+             Promise.resolve(1).then(v => v + 1).then(v => { r = v * 10; });\n\
+             exports.result = r;"),
+        "20"
+    );
+}
+
+#[test]
+fn promise_catch_path() {
+    assert_eq!(
+        run("var r = 'none';\n\
+             Promise.reject('boom').catch(function(e) { r = 'caught:' + e; });\n\
+             exports.result = r;"),
+        "caught:boom"
+    );
+}
+
+#[test]
+fn promise_all_collects() {
+    assert_eq!(
+        run("var r;\n\
+             Promise.all([Promise.resolve(1), Promise.resolve(2)]).then(function(vs) { r = vs.join('+'); });\n\
+             exports.result = r;"),
+        "1+2"
+    );
+}
+
+#[test]
+fn set_timeout_passes_args() {
+    assert_eq!(
+        run("var r; setTimeout(function(a, b) { r = a + b; }, 0, 'x', 'y'); exports.result = r;"),
+        "xy"
+    );
+}
+
+// ----- Node core modules -----
+
+#[test]
+fn events_once_and_remove() {
+    assert_eq!(
+        run("var EventEmitter = require('events');\n\
+             var e = new EventEmitter();\n\
+             var n = 0;\n\
+             function inc() { n++; }\n\
+             e.on('t', inc);\n\
+             e.emit('t');\n\
+             e.removeListener('t', inc);\n\
+             e.emit('t');\n\
+             exports.result = n;"),
+        "1"
+    );
+}
+
+#[test]
+fn events_listener_count() {
+    assert_eq!(
+        run("var EventEmitter = require('events').EventEmitter;\n\
+             var e = new EventEmitter();\n\
+             e.on('x', function() {});\n\
+             e.on('x', function() {});\n\
+             exports.result = e.listenerCount('x');"),
+        "2"
+    );
+}
+
+#[test]
+fn util_format_and_predicates() {
+    assert_eq!(
+        run("var util = require('util');\n\
+             exports.result = util.isArray([]) + ':' + util.isFunction(util.format) + ':' + util.isString('x');"),
+        "true:true:true"
+    );
+}
+
+#[test]
+fn path_parse_components() {
+    assert_eq!(
+        run("var path = require('path');\n\
+             var p = path.parse('/a/b/file.txt');\n\
+             exports.result = p.dir + '|' + p.base + '|' + p.ext + '|' + p.name;"),
+        "/a/b|file.txt|.txt|file"
+    );
+}
+
+#[test]
+fn path_resolve_and_normalize() {
+    assert_eq!(
+        run("var path = require('path');\n\
+             exports.result = path.resolve('/a', 'b', '../c');"),
+        "/a/c"
+    );
+    assert_eq!(
+        run("var path = require('path'); exports.result = path.normalize('a//b/./c/../d');"),
+        "a/b/d"
+    );
+}
+
+#[test]
+fn querystring_roundtrip() {
+    assert_eq!(
+        run("var qs = require('querystring');\n\
+             var o = qs.parse('a=1&b=two');\n\
+             exports.result = qs.stringify(o);"),
+        "a=1&b=two"
+    );
+}
+
+#[test]
+fn url_parse_components() {
+    assert_eq!(
+        run("var url = require('url');\n\
+             var u = url.parse('https://example.com:8080/path/x?q=1#frag');\n\
+             exports.result = u.hostname + '|' + u.pathname + '|' + u.search + '|' + u.hash;"),
+        "example.com|/path/x|?q=1|#frag"
+    );
+}
+
+#[test]
+fn assert_deep_equal() {
+    assert_eq!(
+        run("var assert = require('assert');\n\
+             assert.deepEqual({ a: [1, 2] }, { a: [1, 2] });\n\
+             var r = 'no';\n\
+             try { assert.deepEqual({ a: 1 }, { a: 2 }); } catch (e) { r = 'threw'; }\n\
+             exports.result = r;"),
+        "threw"
+    );
+}
+
+#[test]
+fn process_and_globals() {
+    assert_eq!(run("exports.result = typeof process.env;"), "object");
+    assert_eq!(run("exports.result = process.platform;"), "linux");
+    assert_eq!(run("exports.result = global === globalThis;"), "true");
+}
+
+#[test]
+fn date_is_deterministic_and_monotone() {
+    assert_eq!(
+        run("var a = Date.now(); var b = Date.now(); exports.result = b >= a;"),
+        "true"
+    );
+    assert_eq!(
+        run("var d = new Date(); exports.result = typeof d.getTime();"),
+        "number"
+    );
+}
+
+#[test]
+fn math_random_in_range_and_varies() {
+    let out = run(
+        "var seen = {};\n\
+         var distinct = 0;\n\
+         for (var i = 0; i < 20; i++) {\n\
+         var r = Math.random();\n\
+         if (r < 0 || r >= 1) { distinct = -999; break; }\n\
+         var k = '' + r;\n\
+         if (!seen[k]) { seen[k] = true; distinct++; }\n\
+         }\n\
+         exports.result = distinct;",
+    );
+    assert_eq!(out, "20");
+}
+
+#[test]
+fn function_to_string_is_opaque() {
+    assert_eq!(
+        run("function f() {} exports.result = (typeof f.toString()) + ':' + (f.toString().indexOf('native') >= 0);"),
+        "string:true"
+    );
+}
+
+#[test]
+fn getter_on_literal_with_define_property_interplay() {
+    assert_eq!(
+        run("var src = { get v() { return 41; } };\n\
+             var d = Object.getOwnPropertyDescriptor(src, 'v');\n\
+             var dst = {};\n\
+             Object.defineProperty(dst, 'v', d);\n\
+             exports.result = dst.v + 1;"),
+        "42"
+    );
+}
+
+#[test]
+fn mixin_copies_accessors() {
+    // The merge-descriptors idiom preserves getters.
+    assert_eq!(
+        run("function merge(dest, src) {\n\
+             Object.getOwnPropertyNames(src).forEach(function(name) {\n\
+             var d = Object.getOwnPropertyDescriptor(src, name);\n\
+             Object.defineProperty(dest, name, d);\n\
+             });\n\
+             return dest;\n\
+             }\n\
+             var api = merge({}, { get version() { return '1.0'; }, go: function() { return 'went'; } });\n\
+             exports.result = api.version + ':' + api.go();"),
+        "1.0:went"
+    );
+}

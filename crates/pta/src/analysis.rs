@@ -1,0 +1,231 @@
+//! Top-level analysis driver: parse → resolve scopes → generate
+//! constraints → apply hints (\[DPR\]/\[DPW\]/module hints) → solve → extract
+//! the call graph.
+
+use crate::callgraph::{extract, CallGraph};
+use crate::gen::{generate, GenOutput};
+use crate::scopes;
+use crate::solver::{CellKind, SolverStats, TokenData};
+use aji_approx::Hints;
+use aji_ast::{Loc, Project};
+use std::time::Instant;
+
+/// Which hint rules the analysis applies. The baseline disables all of
+/// them; Table 2's `*`-marked row corresponds to write hints only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisOptions {
+    /// Apply \[DPR\] (read hints).
+    pub use_read_hints: bool,
+    /// Apply \[DPW\] (write hints).
+    pub use_write_hints: bool,
+    /// Resolve dynamic `require` through module hints (§3's extension).
+    pub use_module_hints: bool,
+    /// §4's discussed *non-relational* alternative to \[DPW\]: model each
+    /// dynamic write site as static writes `E.p1 = E'' ∧ … ∧ E.pn = E''`
+    /// for the observed names. Loses the relational precision of \[DPW\];
+    /// provided for the ablation study.
+    pub nonrelational_writes: bool,
+    /// §6's "unknown function arguments" extension: treat a dynamic read
+    /// whose base was the proxy but whose key was a known string as a
+    /// static read — only where no ordinary read hints exist.
+    pub use_proxy_read_hints: bool,
+}
+
+impl AnalysisOptions {
+    /// The baseline static analysis: dynamic property accesses ignored.
+    pub fn baseline() -> Self {
+        AnalysisOptions {
+            use_read_hints: false,
+            use_write_hints: false,
+            use_module_hints: false,
+            nonrelational_writes: false,
+            use_proxy_read_hints: false,
+        }
+    }
+
+    /// The extended analysis with the paper's hint rules enabled.
+    pub fn extended() -> Self {
+        AnalysisOptions {
+            use_read_hints: true,
+            use_write_hints: true,
+            use_module_hints: true,
+            nonrelational_writes: false,
+            use_proxy_read_hints: false,
+        }
+    }
+
+    /// The §4 non-relational ablation: write hints replaced by
+    /// per-site property-name injection.
+    pub fn nonrelational() -> Self {
+        AnalysisOptions {
+            use_write_hints: false,
+            nonrelational_writes: true,
+            ..Self::extended()
+        }
+    }
+
+    /// The extended analysis plus the §6 proxy-read extension.
+    pub fn with_proxy_reads() -> Self {
+        AnalysisOptions {
+            use_proxy_read_hints: true,
+            ..Self::extended()
+        }
+    }
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        Self::extended()
+    }
+}
+
+/// Result of one static analysis run.
+#[derive(Debug)]
+pub struct Analysis {
+    /// The computed call graph.
+    pub call_graph: CallGraph,
+    /// Solver statistics.
+    pub solver_stats: SolverStats,
+    /// Wall-clock analysis time in seconds (excluding parsing).
+    pub analysis_seconds: f64,
+    /// Number of hints that were actually applied (matched a known site
+    /// or token).
+    pub hints_applied: usize,
+}
+
+/// Runs the static call graph and points-to analysis on a project.
+///
+/// With `hints == None` (or all hint options disabled) this is the
+/// baseline analysis of Figure 3's first five rules; with hints it
+/// additionally applies \[DPR\] and \[DPW\].
+///
+/// # Errors
+///
+/// Returns a parse error if any project file fails to parse.
+pub fn analyze(
+    project: &Project,
+    hints: Option<&Hints>,
+    opts: &AnalysisOptions,
+) -> Result<Analysis, aji_parser::ParseError> {
+    let parsed = aji_parser::parse_project(project)?;
+    let start = Instant::now();
+    let res = scopes::resolve(&parsed.modules);
+    let paths: Vec<String> = project.files.iter().map(|f| f.path.clone()).collect();
+    let GenOutput {
+        mut solver,
+        dyn_reads,
+        dyn_writes,
+        funcs_by_loc,
+        objs_by_loc,
+    } = generate(&parsed.modules, &parsed.source_map, &res, paths);
+
+    // Apply hints.
+    let mut hints_applied = 0;
+    if let Some(h) = hints {
+        // Hint locations resolve to function tokens first, then to known
+        // (or freshly minted) object allocation-site tokens. Line-0
+        // sentinel locations denote module `exports` / `module` objects
+        // (see the interpreter's module loader).
+        let token_at = |solver: &mut crate::solver::Solver, loc: Loc| {
+            if loc.line == 0 {
+                return if loc.col == 0 {
+                    solver.token(TokenData::Exports(loc.file))
+                } else {
+                    solver.token(TokenData::ModuleObj(loc.file))
+                };
+            }
+            if let Some(owner) = loc.prototype_owner() {
+                if let Some(f) = funcs_by_loc.get(&owner) {
+                    return solver.token(TokenData::Proto(*f));
+                }
+                return solver.token(TokenData::Obj(loc));
+            }
+            if let Some(f) = funcs_by_loc.get(&loc) {
+                solver.token(TokenData::Func(*f))
+            } else if let Some(t) = objs_by_loc.get(&loc) {
+                *t
+            } else {
+                solver.token(TokenData::Obj(loc))
+            }
+        };
+        if opts.use_write_hints {
+            // [DPW]: t_{ℓ''} ∈ ⟦t_ℓ.p⟧
+            for w in &h.writes {
+                let t_obj = token_at(&mut solver, w.obj);
+                let t_val = token_at(&mut solver, w.value);
+                let prop = solver.interner.intern(&w.prop);
+                let field = solver.cell(CellKind::Field(t_obj, prop));
+                solver.add_token(field, t_val);
+                hints_applied += 1;
+            }
+        }
+        if opts.use_read_hints {
+            // [DPR]: t_{ℓ'} ∈ ⟦E[E']⟧
+            for (op, locs) in &h.reads {
+                let Some((_, cell)) = dyn_reads.get(op) else {
+                    continue;
+                };
+                for l in locs {
+                    let t = token_at(&mut solver, *l);
+                    solver.add_token(*cell, t);
+                    hints_applied += 1;
+                }
+            }
+        }
+        if opts.nonrelational_writes {
+            // §4's discussed alternative: every observed name at a write
+            // site becomes a static write of the site's value expression
+            // into that property of *all* base objects.
+            for (site, props) in &h.write_props {
+                let Some((base, value)) = dyn_writes.get(site) else {
+                    continue;
+                };
+                for p in props {
+                    let prop = solver.interner.intern(p);
+                    solver.add_constraint(
+                        *base,
+                        crate::solver::Constraint::Store { prop, src: *value },
+                    );
+                    hints_applied += 1;
+                }
+            }
+        }
+        if opts.use_proxy_read_hints {
+            // §6 extension: only where no ordinary read hints exist.
+            for (site, props) in &h.proxy_reads {
+                if h.reads.contains_key(site) {
+                    continue;
+                }
+                let Some((base, result)) = dyn_reads.get(site) else {
+                    continue;
+                };
+                for p in props {
+                    let prop = solver.interner.intern(p);
+                    solver.add_constraint(
+                        *base,
+                        crate::solver::Constraint::Load { prop, dst: *result },
+                    );
+                    hints_applied += 1;
+                }
+            }
+        }
+        if opts.use_module_hints {
+            for (site, paths) in &h.modules {
+                hints_applied += paths.len();
+                solver
+                    .module_hints
+                    .insert(*site, paths.iter().cloned().collect());
+            }
+        }
+    }
+
+    solver.solve();
+    let call_graph = extract(&solver, project);
+    let analysis_seconds = start.elapsed().as_secs_f64();
+    Ok(Analysis {
+        call_graph,
+        solver_stats: solver.stats.clone(),
+        analysis_seconds,
+        hints_applied,
+    })
+}

@@ -1,0 +1,174 @@
+//! The paper's evaluation metrics (§5): call edges, reachable functions,
+//! resolved/monomorphic call sites, and — when a dynamic call graph is
+//! available — call edge set recall and per-call precision.
+
+use crate::callgraph::CallGraph;
+use aji_ast::Loc;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Call-graph quality metrics that need no ground truth.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CgMetrics {
+    /// Number of call edges.
+    pub call_edges: usize,
+    /// Functions reachable from the main package's module top-levels.
+    pub reachable_functions: usize,
+    /// All function definitions.
+    pub total_functions: usize,
+    /// Call sites with at least one callee.
+    pub resolved_sites: usize,
+    /// Call sites with at most one callee.
+    pub monomorphic_sites: usize,
+    /// Total call sites.
+    pub total_sites: usize,
+}
+
+impl CgMetrics {
+    /// Computes the metrics of a call graph.
+    pub fn of(cg: &CallGraph) -> CgMetrics {
+        CgMetrics {
+            call_edges: cg.edge_count(),
+            reachable_functions: cg.reachable_functions.len(),
+            total_functions: cg.all_functions.len(),
+            resolved_sites: cg.resolved_sites(),
+            monomorphic_sites: cg.monomorphic_sites(),
+            total_sites: cg.total_sites(),
+        }
+    }
+
+    /// Percentage of resolved call sites (Figure 6).
+    pub fn resolved_pct(&self) -> f64 {
+        pct(self.resolved_sites, self.total_sites)
+    }
+
+    /// Percentage of monomorphic call sites (Figure 7).
+    pub fn monomorphic_pct(&self) -> f64 {
+        pct(self.monomorphic_sites, self.total_sites)
+    }
+}
+
+fn pct(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        100.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
+/// Recall/precision of a static call graph against a dynamic one
+/// (Table 2). The dynamic call graph is a set of (call-site location,
+/// callee definition location) pairs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Accuracy {
+    /// Dynamic edges found by the static analysis.
+    pub matched_edges: usize,
+    /// Total dynamic edges.
+    pub dynamic_edges: usize,
+    /// Sum of per-call precision contributions.
+    precision_sum: f64,
+    /// Number of call sites contributing to precision.
+    precision_sites: usize,
+}
+
+impl Accuracy {
+    /// Compares a static call graph against dynamic edges.
+    pub fn compare(cg: &CallGraph, dynamic: &BTreeSet<(Loc, Loc)>) -> Accuracy {
+        let matched = dynamic.iter().filter(|e| cg.edges.contains(e)).count();
+
+        // Group dynamic edges per call site.
+        let mut dyn_by_site: BTreeMap<Loc, BTreeSet<Loc>> = BTreeMap::new();
+        for (cs, callee) in dynamic {
+            dyn_by_site.entry(*cs).or_default().insert(*callee);
+        }
+        let mut precision_sum = 0.0;
+        let mut precision_sites = 0;
+        for (cs, dyn_targets) in &dyn_by_site {
+            let static_targets = match cg.site_targets.get(cs) {
+                Some(t) if !t.is_empty() => t,
+                _ => continue,
+            };
+            let inter = static_targets.intersection(dyn_targets).count();
+            precision_sum += inter as f64 / static_targets.len() as f64;
+            precision_sites += 1;
+        }
+        Accuracy {
+            matched_edges: matched,
+            dynamic_edges: dynamic.len(),
+            precision_sum,
+            precision_sites,
+        }
+    }
+
+    /// Call edge set recall (%, Table 2): dynamic edges also found
+    /// statically.
+    pub fn recall_pct(&self) -> f64 {
+        pct(self.matched_edges, self.dynamic_edges)
+    }
+
+    /// Per-call precision (%, Table 2).
+    pub fn precision_pct(&self) -> f64 {
+        if self.precision_sites == 0 {
+            100.0
+        } else {
+            100.0 * self.precision_sum / self.precision_sites as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aji_ast::FileId;
+
+    fn loc(l: u32) -> Loc {
+        Loc::new(FileId(0), l, 1)
+    }
+
+    fn cg_with_edges(edges: &[(u32, u32)], extra_sites: &[u32]) -> CallGraph {
+        let mut cg = CallGraph::default();
+        for (a, b) in edges {
+            cg.edges.insert((loc(*a), loc(*b)));
+            cg.site_targets.entry(loc(*a)).or_default().insert(loc(*b));
+            cg.all_functions.insert(loc(*b));
+        }
+        for s in extra_sites {
+            cg.site_targets.entry(loc(*s)).or_default();
+        }
+        cg
+    }
+
+    #[test]
+    fn basic_metrics() {
+        let cg = cg_with_edges(&[(1, 10), (1, 11), (2, 10)], &[3]);
+        let m = CgMetrics::of(&cg);
+        assert_eq!(m.call_edges, 3);
+        assert_eq!(m.total_sites, 3);
+        assert_eq!(m.resolved_sites, 2);
+        // site 1 has 2 targets (poly), site 2 has 1, site 3 has 0.
+        assert_eq!(m.monomorphic_sites, 2);
+        assert!((m.resolved_pct() - 66.666).abs() < 0.01);
+    }
+
+    #[test]
+    fn recall_and_precision() {
+        let cg = cg_with_edges(&[(1, 10), (1, 11), (2, 10)], &[]);
+        let mut dynamic = BTreeSet::new();
+        dynamic.insert((loc(1), loc(10))); // matched
+        dynamic.insert((loc(2), loc(12))); // missed
+        let acc = Accuracy::compare(&cg, &dynamic);
+        assert_eq!(acc.matched_edges, 1);
+        assert_eq!(acc.dynamic_edges, 2);
+        assert!((acc.recall_pct() - 50.0).abs() < 1e-9);
+        // Site 1: static {10, 11}, dynamic {10} → 0.5.
+        // Site 2: static {10}, dynamic {12} → 0.0.
+        assert!((acc.precision_pct() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_dynamic_graph() {
+        let cg = cg_with_edges(&[(1, 10)], &[]);
+        let acc = Accuracy::compare(&cg, &BTreeSet::new());
+        assert_eq!(acc.recall_pct(), 100.0);
+        assert_eq!(acc.precision_pct(), 100.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Tests for the §4 non-relational ablation and the §6 proxy-read
+//! extension.
+
+use aji_approx::{approximate_interpret, ApproxOptions};
+use aji_ast::Project;
+use aji_pta::{analyze, AnalysisOptions, CgMetrics};
+
+fn project(src: &str) -> Project {
+    let mut p = Project::new("t");
+    p.add_file("index.js", src);
+    p
+}
+
+/// The §4 example: three (object, property, value) triples observed at
+/// ONE dynamic write site. The relational \[DPW\] rule keeps them apart;
+/// the non-relational alternative mixes all objects × all values.
+const RELATIONAL_EXAMPLE: &str = "\
+var t1 = {};\n\
+var t2 = {};\n\
+var t3 = {};\n\
+function v1() {}\n\
+function v2() {}\n\
+function v3() {}\n\
+var table = [\n\
+  [t1, 'p1', v1],\n\
+  [t2, 'p2', v2],\n\
+  [t3, 'p3', v3]\n\
+];\n\
+for (var i = 0; i < table.length; i++) {\n\
+  var row = table[i];\n\
+  row[0][row[1]] = row[2];\n\
+}\n\
+t1.p1();\n\
+t2.p2();\n\
+t3.p3();\n";
+
+#[test]
+fn relational_dpw_keeps_triples_apart() {
+    let p = project(RELATIONAL_EXAMPLE);
+    let hints = approximate_interpret(&p, &ApproxOptions::default())
+        .unwrap()
+        .hints;
+    assert_eq!(hints.writes.len(), 3, "hints: {:?}", hints.writes);
+
+    let rel = analyze(&p, Some(&hints), &AnalysisOptions::extended()).unwrap();
+    let m = CgMetrics::of(&rel.call_graph);
+    // Each of t1.p1() / t2.p2() / t3.p3() resolves to exactly its own
+    // function: 3 edges, all monomorphic.
+    let call_lines = [16u32, 17, 18];
+    for l in call_lines {
+        let targets: Vec<u32> = rel
+            .call_graph
+            .edges
+            .iter()
+            .filter(|(cs, _)| cs.line == l)
+            .map(|(_, f)| f.line)
+            .collect();
+        assert_eq!(targets.len(), 1, "line {l} targets {targets:?}");
+    }
+    assert_eq!(m.monomorphic_sites, m.total_sites);
+}
+
+#[test]
+fn nonrelational_alternative_loses_precision() {
+    let p = project(RELATIONAL_EXAMPLE);
+    let hints = approximate_interpret(&p, &ApproxOptions::default())
+        .unwrap()
+        .hints;
+    // The ablation needs per-site property names.
+    assert!(!hints.write_props.is_empty());
+
+    let non = analyze(&p, Some(&hints), &AnalysisOptions::nonrelational()).unwrap();
+    // With all combinations injected, each call site sees all three
+    // functions: 9 edges instead of 3, and every call site polymorphic.
+    for l in [16u32, 17, 18] {
+        let targets: Vec<u32> = non
+            .call_graph
+            .edges
+            .iter()
+            .filter(|(cs, _)| cs.line == l)
+            .map(|(_, f)| f.line)
+            .collect();
+        assert_eq!(
+            targets.len(),
+            3,
+            "line {l} should see all three functions, got {targets:?}"
+        );
+    }
+    let m = CgMetrics::of(&non.call_graph);
+    assert!(
+        m.monomorphic_pct() < 100.0,
+        "non-relational mode must create polymorphic sites"
+    );
+}
+
+#[test]
+fn nonrelational_is_still_sound_here() {
+    // Both modes find at least the true edges.
+    let p = project(RELATIONAL_EXAMPLE);
+    let hints = approximate_interpret(&p, &ApproxOptions::default())
+        .unwrap()
+        .hints;
+    let rel = analyze(&p, Some(&hints), &AnalysisOptions::extended()).unwrap();
+    let non = analyze(&p, Some(&hints), &AnalysisOptions::nonrelational()).unwrap();
+    for e in &rel.call_graph.edges {
+        assert!(
+            non.call_graph.edges.contains(e),
+            "non-relational lost a true edge {e:?}"
+        );
+    }
+}
+
+#[test]
+fn proxy_read_extension_recovers_static_like_reads() {
+    // `pick` is never called by the module: forced execution runs it with
+    // the proxy as argument, so `cfg['handler']` reads from p* — the §6
+    // extension records (site, "handler").
+    let src = "\
+exports.pick = function pick(cfg) {\n\
+  var h = cfg['handler'];\n\
+  return h;\n\
+};\n\
+var table = { handler: function theHandler() {} };\n\
+var f = exports.pick(table);\n\
+f();\n";
+    let p = project(src);
+    let hints = approximate_interpret(&p, &ApproxOptions::default())
+        .unwrap()
+        .hints;
+    // The module's own call to pick(table) with a concrete object already
+    // produces an ordinary read hint, so the extension defers. Remove the
+    // concrete call to force the interesting case:
+    let src2 = "\
+exports.pick = function pick(cfg) {\n\
+  var h = cfg['handler'];\n\
+  return h;\n\
+};\n";
+    let mut p2 = Project::new("t2");
+    p2.add_file("index.js", src2);
+    p2.add_file(
+        "app.js",
+        "var lib = require('./index');\n\
+         var f = lib.pick({ handler: function realHandler() {} });\n\
+         f();",
+    );
+    p2.main = "app.js".to_string();
+    let hints2 = approximate_interpret(&p2, &ApproxOptions::default())
+        .unwrap()
+        .hints;
+    let _ = hints;
+    // With the app module seeding first, the concrete call may produce an
+    // ordinary hint; construct the pure-proxy variant explicitly instead.
+    let mut p3 = Project::new("t3");
+    p3.add_file("index.js", src2);
+    let hints3 = approximate_interpret(&p3, &ApproxOptions::default())
+        .unwrap()
+        .hints;
+    assert!(
+        !hints3.proxy_reads.is_empty(),
+        "expected §6 proxy-read hints, got {:?}",
+        hints3
+    );
+    // Now analyze an application shape where the static read can resolve.
+    let with = AnalysisOptions::with_proxy_reads();
+    let analysis = analyze(&p2, Some(&hints3), &with).unwrap();
+    let _ = hints2;
+    // The read `cfg['handler']` in index.js line 2, treated as `.handler`,
+    // lets `f()` in app.js resolve to realHandler (app.js line 2).
+    let found = analysis
+        .call_graph
+        .edges
+        .iter()
+        .any(|(cs, f)| cs.file.index() == 1 && cs.line == 3 && f.file.index() == 1 && f.line == 2);
+    assert!(
+        found,
+        "proxy-read extension should resolve f(); edges: {:?}",
+        analysis.call_graph.edges
+    );
+}
+
+#[test]
+fn proxy_read_extension_defers_to_ordinary_hints() {
+    // When a site has ordinary read hints, the extension must not fire
+    // (it could only hurt precision, §6).
+    let src = "\
+var cfg = { handler: function goodHandler() {} };\n\
+exports.pick = function pick(c) {\n\
+  return c['handler'];\n\
+};\n\
+var f = exports.pick(cfg);\n\
+f();\n";
+    let p = project(src);
+    let hints = approximate_interpret(&p, &ApproxOptions::default())
+        .unwrap()
+        .hints;
+    // Both an ordinary hint (from the concrete call) and possibly a proxy
+    // hint (from the forced call) exist for the same site.
+    assert!(!hints.reads.is_empty());
+    let a = analyze(&p, Some(&hints), &AnalysisOptions::with_proxy_reads()).unwrap();
+    let b = analyze(&p, Some(&hints), &AnalysisOptions::extended()).unwrap();
+    assert_eq!(
+        a.call_graph.edges, b.call_graph.edges,
+        "extension must be inert when ordinary hints exist"
+    );
+}

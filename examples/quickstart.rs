@@ -1,0 +1,61 @@
+//! Quickstart: analyze a small project with and without approximate
+//! interpretation and see the recovered call edges.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use aji::{run_benchmark, PipelineOptions};
+use aji_ast::Project;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A miniature library that installs its API with dynamic property
+    // writes — the pattern that defeats purely static call-graph
+    // analyses.
+    let mut project = Project::new("quickstart");
+    project.add_file(
+        "index.js",
+        r#"var api = {};
+['start', 'stop', 'status'].forEach(function(command) {
+  api[command] = function handler(arg) {
+    return command + '(' + arg + ')';
+  };
+});
+api.start('engine');
+api.status('engine');
+"#,
+    );
+
+    let report = run_benchmark(&project, &PipelineOptions::default())?;
+
+    println!("project: {}", report.name);
+    println!();
+    println!("                        baseline   with hints");
+    println!(
+        "call edges:             {:>8}   {:>10}",
+        report.baseline.call_edges, report.extended.call_edges
+    );
+    println!(
+        "reachable functions:    {:>8}   {:>10}",
+        report.baseline.reachable_functions, report.extended.reachable_functions
+    );
+    println!(
+        "resolved call sites:    {:>7.1}%   {:>9.1}%",
+        report.baseline.resolved_pct(),
+        report.extended.resolved_pct()
+    );
+    println!();
+    println!(
+        "approximate interpretation produced {} hints in {:.3}s",
+        report.hint_count, report.approx_seconds
+    );
+    println!();
+    println!("recovered call edges (file:line:col -> file:line:col):");
+    for (site, callee) in report.extended_call_graph.edges.iter() {
+        let new = !report.baseline_call_graph.edges.contains(&(*site, *callee));
+        let marker = if new { " [recovered by hints]" } else { "" };
+        println!(
+            "  {}:{}:{} -> {}:{}:{}{}",
+            site.file.0, site.line, site.col, callee.file.0, callee.line, callee.col, marker
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Workspace-level facade: re-exports the crates so integration tests and
+//! examples can use a single dependency root.
+pub use aji;
+pub use aji_approx;
+pub use aji_ast;
+pub use aji_corpus;
+pub use aji_interp;
+pub use aji_parser;
+pub use aji_pta;

@@ -1,0 +1,143 @@
+//! Fuzz-style robustness tests: randomly generated (syntactically valid)
+//! programs must never panic any pipeline stage — the concrete
+//! interpreter, the approximate interpreter, or the static analysis —
+//! and the hint rules must stay monotone.
+
+use aji_approx::{approximate_interpret, ApproxOptions};
+use aji_ast::Project;
+use aji_interp::{Interp, InterpOptions, NoopTracer};
+use aji_pta::{analyze, AnalysisOptions};
+use proptest::prelude::*;
+
+const KEYWORDS: &[&str] = &[
+    "var", "let", "const", "function", "return", "if", "else", "while", "do", "for", "in",
+    "new", "delete", "typeof", "void", "instanceof", "this", "null", "true", "false", "class",
+    "extends", "super", "try", "catch", "finally", "throw", "switch", "case", "default",
+    "break", "continue", "debugger", "of", "get", "set", "static", "async", "await", "yield",
+    "arguments", "eval", "undefined", "NaN", "Infinity",
+];
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,4}".prop_filter("keyword", |s| !KEYWORDS.contains(&s.as_str()))
+}
+
+fn expr() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (0u32..1000).prop_map(|n| n.to_string()),
+        "[a-z]{0,6}".prop_map(|s| format!("'{s}'")),
+        Just("true".to_string()),
+        Just("null".to_string()),
+        Just("undefined".to_string()),
+        Just("{}".to_string()),
+        Just("[]".to_string()),
+        ident(),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a})[{b}]")),
+            (inner.clone(), ident()).prop_map(|(a, p)| format!("({a}).{p}")),
+            (ident(), proptest::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(f, args)| format!("{f}({})", args.join(", "))),
+            inner.clone().prop_map(|a| format!("(typeof {a})")),
+            (ident(), inner.clone())
+                .prop_map(|(p, b)| format!("(function({p}) {{ return {b}; }})")),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(a, b, c)| format!("({a} ? {b} : {c})")),
+            proptest::collection::vec(inner.clone(), 0..3)
+                .prop_map(|xs| format!("[{}]", xs.join(", "))),
+            (ident(), inner).prop_map(|(k, v)| format!("({{ {k}: {v} }})")),
+        ]
+    })
+}
+
+fn stmt() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (ident(), expr()).prop_map(|(x, e)| format!("var {x} = {e};")),
+        expr().prop_map(|e| format!("sink({e});")),
+        (expr(), expr()).prop_map(|(c, e)| format!("if ({c}) {{ sink({e}); }}")),
+        (ident(), expr()).prop_map(|(f, e)| format!("function {f}() {{ return {e}; }}")),
+        (expr(), expr(), ident()).prop_map(|(o, v, k)| format!("tbl[{o}] = {v}; var {k} = tbl[{o}];")),
+        (expr(), expr()).prop_map(|(a, b)| format!(
+            "try {{ sink({a}); }} catch (err0) {{ sink({b}); }}"
+        )),
+        (ident(), expr()).prop_map(|(x, e)| format!(
+            "for (var {x} = 0; {x} < 2; {x}++) {{ sink({e}); }}"
+        )),
+    ]
+}
+
+fn program() -> impl Strategy<Value = String> {
+    proptest::collection::vec(stmt(), 1..5).prop_map(|ss| {
+        format!(
+            "var tbl = {{}};\nfunction sink(x) {{ return x; }}\n{}",
+            ss.join("\n")
+        )
+    })
+}
+
+fn tiny_budgets() -> InterpOptions {
+    InterpOptions {
+        max_steps: 200_000,
+        max_stack: 24,
+        max_loop_iters: 500,
+        ..InterpOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn concrete_interpreter_never_panics(src in program()) {
+        let mut p = Project::new("fuzz");
+        p.add_file("index.js", src);
+        let mut interp =
+            Interp::with_options(&p, tiny_budgets(), Box::new(NoopTracer)).expect("parse");
+        // Runtime errors (unbound names etc.) are fine; panics are not.
+        let _ = interp.run_module("index.js");
+    }
+
+    #[test]
+    fn approx_interpreter_never_panics(src in program()) {
+        let mut p = Project::new("fuzz");
+        p.add_file("index.js", src);
+        let opts = ApproxOptions {
+            interp: InterpOptions {
+                approx: true,
+                ..tiny_budgets()
+            },
+            ..ApproxOptions::default()
+        };
+        let _ = approximate_interpret(&p, &opts).expect("approx");
+    }
+
+    #[test]
+    fn full_pipeline_never_panics_and_is_monotone(src in program()) {
+        let mut p = Project::new("fuzz");
+        p.add_file("index.js", src.clone());
+        let opts = ApproxOptions {
+            interp: InterpOptions {
+                approx: true,
+                ..tiny_budgets()
+            },
+            ..ApproxOptions::default()
+        };
+        let hints = approximate_interpret(&p, &opts).expect("approx").hints;
+        let base = analyze(&p, None, &AnalysisOptions::baseline()).expect("baseline");
+        let ext = analyze(&p, Some(&hints), &AnalysisOptions::extended()).expect("extended");
+        // Hint rules only add tokens, so the extended call graph is a
+        // superset of the baseline's.
+        for e in &base.call_graph.edges {
+            prop_assert!(
+                ext.call_graph.edges.contains(e),
+                "extended lost edge {e:?}\nprogram:\n{src}"
+            );
+        }
+        // The non-relational mode must also be a superset of baseline.
+        let non = analyze(&p, Some(&hints), &AnalysisOptions::nonrelational()).expect("nonrel");
+        for e in &base.call_graph.edges {
+            prop_assert!(non.call_graph.edges.contains(e));
+        }
+    }
+}
