@@ -1,14 +1,12 @@
 //! Hint data structures (`H_R`, `H_W` and module hints).
 
 use aji_ast::Loc;
-use serde::{Deserialize, Serialize};
+use aji_support::{FromJson, Json, JsonError, ToJson};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A write hint `(ℓ, p, ℓ'')`: an object allocated at `value` was written
 /// to property `prop` of an object allocated at `obj`.
-#[derive(
-    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct WriteHint {
     /// Allocation site of the object written *to*.
     pub obj: Loc,
@@ -18,8 +16,32 @@ pub struct WriteHint {
     pub value: Loc,
 }
 
+/// Write hints serialize as `[obj, prop, value]` triples.
+impl ToJson for WriteHint {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![
+            self.obj.to_json(),
+            Json::Str(self.prop.clone()),
+            self.value.to_json(),
+        ])
+    }
+}
+
+impl FromJson for WriteHint {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_arr() {
+            Some([obj, prop, value]) => Ok(WriteHint {
+                obj: Loc::from_json(obj)?,
+                prop: String::from_json(prop)?,
+                value: Loc::from_json(value)?,
+            }),
+            _ => Err(JsonError::shape("expected [obj, prop, value] write hint")),
+        }
+    }
+}
+
 /// The full output of approximate interpretation.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Hints {
     /// Read hints `H_R`: dynamic-read operation location → allocation
     /// sites observed as results.
@@ -113,6 +135,45 @@ impl Hints {
                 .extend(props.iter().cloned());
         }
     }
+
+    /// Serializes the hint set to a JSON string, so pre-analysis results
+    /// can be persisted and reused across projects (§6).
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Reloads a hint set serialized by [`Hints::to_json_string`].
+    pub fn from_json_str(s: &str) -> Result<Hints, JsonError> {
+        Hints::from_json(&Json::parse(s)?)
+    }
+}
+
+impl ToJson for Hints {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("reads", self.reads.to_json()),
+            ("writes", self.writes.to_json()),
+            ("modules", self.modules.to_json()),
+            ("write_props", self.write_props.to_json()),
+            ("proxy_reads", self.proxy_reads.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Hints {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let field = |k: &str| {
+            v.get(k)
+                .ok_or_else(|| JsonError::shape(format!("hints missing field '{k}'")))
+        };
+        Ok(Hints {
+            reads: FromJson::from_json(field("reads")?)?,
+            writes: FromJson::from_json(field("writes")?)?,
+            modules: FromJson::from_json(field("modules")?)?,
+            write_props: FromJson::from_json(field("write_props")?)?,
+            proxy_reads: FromJson::from_json(field("proxy_reads")?)?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -152,5 +213,96 @@ mod tests {
     #[test]
     fn empty_hints() {
         assert!(Hints::new().is_empty());
+    }
+
+    fn roundtrip(h: &Hints) -> Hints {
+        Hints::from_json_str(&h.to_json_string()).expect("round trip")
+    }
+
+    #[test]
+    fn json_roundtrip_full_hint_set() {
+        let mut h = Hints::new();
+        h.add_read(loc(1), loc(2));
+        h.add_read(loc(1), loc(3));
+        h.add_read(loc(9), loc(2));
+        h.add_write(loc(4), "get", loc(5));
+        h.add_write(loc(4), "set", loc(6));
+        h.add_module(loc(7), "node_modules/dep/index.js");
+        h.add_write_prop(loc(8), "installed");
+        h.add_proxy_read(loc(10), "config");
+        let back = roundtrip(&h);
+        assert_eq!(back, h);
+        assert_eq!(back.len(), h.len());
+    }
+
+    #[test]
+    fn json_roundtrip_empty() {
+        assert_eq!(roundtrip(&Hints::new()), Hints::new());
+    }
+
+    #[test]
+    fn json_roundtrip_escaped_property_names() {
+        // Dynamic property writes can install keys containing JSON
+        // metacharacters — exactly what the serializer must escape.
+        let gnarly = [
+            "quote\"name",
+            "back\\slash",
+            "new\nline",
+            "tab\tname",
+            "unicode-ключ-🔑",
+            "\u{0}\u{1f}control",
+            "",
+            "\\\"both\\\"",
+        ];
+        let mut h = Hints::new();
+        for (i, p) in gnarly.iter().enumerate() {
+            h.add_write(loc(1), *p, loc(10 + i as u32));
+            h.add_write_prop(loc(2), *p);
+            h.add_proxy_read(loc(3), *p);
+        }
+        h.add_module(loc(4), "pkg\"weird\\path\n.js");
+        let text = h.to_json_string();
+        let back = Hints::from_json_str(&text).expect("escaped names round-trip");
+        assert_eq!(back, h, "serialized form: {text}");
+    }
+
+    #[test]
+    fn json_output_is_deterministic() {
+        let mut h = Hints::new();
+        h.add_write(loc(2), "b", loc(3));
+        h.add_write(loc(1), "a", loc(2));
+        h.add_read(loc(5), loc(6));
+        assert_eq!(h.to_json_string(), h.to_json_string());
+        // BTree storage means insertion order does not leak into output.
+        let mut h2 = Hints::new();
+        h2.add_read(loc(5), loc(6));
+        h2.add_write(loc(1), "a", loc(2));
+        h2.add_write(loc(2), "b", loc(3));
+        assert_eq!(h.to_json_string(), h2.to_json_string());
+    }
+
+    #[test]
+    fn json_rejects_malformed_hint_sets() {
+        assert!(Hints::from_json_str("").is_err());
+        assert!(Hints::from_json_str("[]").is_err());
+        assert!(Hints::from_json_str("{\"reads\": []}").is_err(), "missing fields");
+        assert!(
+            Hints::from_json_str(
+                "{\"reads\":[],\"writes\":[[1,2]],\"modules\":[],\
+                 \"write_props\":[],\"proxy_reads\":[]}"
+            )
+            .is_err(),
+            "malformed write hint"
+        );
+    }
+
+    #[test]
+    fn merged_hints_roundtrip() {
+        let mut a = Hints::new();
+        a.add_read(loc(1), loc(2));
+        let mut b = Hints::new();
+        b.add_write(loc(3), "p", loc(4));
+        a.merge(&b);
+        assert_eq!(roundtrip(&a), a);
     }
 }

@@ -7,14 +7,24 @@
 //! records hints in terms of `Loc`s) and the static analysis (which uses
 //! `Loc`s as allocation-site abstractions).
 
-use serde::{Deserialize, Serialize};
+use aji_support::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 
 /// Identifier of a source file within a [`SourceMap`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct FileId(pub u32);
+
+impl ToJson for FileId {
+    fn to_json(&self) -> Json {
+        Json::Num(self.0 as f64)
+    }
+}
+
+impl FromJson for FileId {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        u32::from_json(v).map(FileId)
+    }
+}
 
 impl FileId {
     /// Returns the index of this file in its [`SourceMap`].
@@ -27,7 +37,7 @@ impl FileId {
 ///
 /// Spans are produced by the parser and converted to human-readable [`Loc`]s
 /// through the owning [`SourceMap`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Span {
     /// File the span belongs to.
     pub file: FileId,
@@ -73,13 +83,37 @@ impl Span {
     }
 }
 
+/// Spans serialize as `[file, lo, hi]`.
+impl ToJson for Span {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![
+            self.file.to_json(),
+            Json::Num(self.lo as f64),
+            Json::Num(self.hi as f64),
+        ])
+    }
+}
+
+impl FromJson for Span {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_arr() {
+            Some([f, lo, hi]) => Ok(Span {
+                file: FileId::from_json(f)?,
+                lo: u32::from_json(lo)?,
+                hi: u32::from_json(hi)?,
+            }),
+            _ => Err(JsonError::shape("expected [file, lo, hi] span")),
+        }
+    }
+}
+
 /// A source location: file, 1-based line and 1-based column.
 ///
 /// This is the paper's `Loc`: the identity of allocation sites, function
 /// definitions and dynamic-property-access operations. Two objects created
 /// by the same syntactic operation share a `Loc`, which is what makes the
 /// dynamic hints consumable by an allocation-site-based static analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Loc {
     /// File containing the operation.
     pub file: FileId,
@@ -128,6 +162,31 @@ impl Loc {
 impl fmt::Display for Loc {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "f{}:{}:{}", self.file.0, self.line, self.col)
+    }
+}
+
+/// Locations serialize as `[file, line, col]` — compact, and usable as the
+/// key half of serialized hint maps.
+impl ToJson for Loc {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![
+            self.file.to_json(),
+            Json::Num(self.line as f64),
+            Json::Num(self.col as f64),
+        ])
+    }
+}
+
+impl FromJson for Loc {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_arr() {
+            Some([f, line, col]) => Ok(Loc {
+                file: FileId::from_json(f)?,
+                line: u32::from_json(line)?,
+                col: u32::from_json(col)?,
+            }),
+            _ => Err(JsonError::shape("expected [file, line, col] loc")),
+        }
     }
 }
 
@@ -328,5 +387,36 @@ mod tests {
     fn offset_at_line_start_maps_to_col_one() {
         let f = SourceFile::new("a.js", "\n\nx");
         assert_eq!(f.line_col(2), (3, 1));
+    }
+
+    #[test]
+    fn loc_json_roundtrip() {
+        for loc in [
+            Loc::new(FileId(0), 1, 1),
+            Loc::new(FileId(7), 1234, 56),
+            Loc::module_exports_site(FileId(3)),
+            Loc::new(FileId(1), 9, 2).prototype_site(),
+        ] {
+            let j = loc.to_json();
+            let text = j.to_string();
+            let back = Loc::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, loc, "via {text}");
+        }
+    }
+
+    #[test]
+    fn span_and_fileid_json_roundtrip() {
+        let s = Span::new(FileId(4), 10, 25);
+        let back = Span::from_json(&Json::parse(&s.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, s);
+        let f = FileId(99);
+        assert_eq!(FileId::from_json(&f.to_json()).unwrap(), f);
+    }
+
+    #[test]
+    fn loc_json_rejects_wrong_shape() {
+        assert!(Loc::from_json(&Json::parse("[1, 2]").unwrap()).is_err());
+        assert!(Loc::from_json(&Json::parse("\"f0:1:1\"").unwrap()).is_err());
+        assert!(Loc::from_json(&Json::parse("[1, 2, 3.5]").unwrap()).is_err());
     }
 }

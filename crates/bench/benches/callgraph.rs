@@ -1,11 +1,12 @@
-//! Criterion benchmark behind Figures 4–7: call-graph construction with
-//! and without hints across corpus size classes, measuring how the extra
-//! hint-induced dataflow scales.
+//! Benchmark behind Figures 4–7: call-graph construction with and
+//! without hints across corpus size classes, measuring how the extra
+//! hint-induced dataflow scales. Uses the in-tree `aji-support` bench
+//! harness.
 
 use aji_approx::{approximate_interpret, ApproxOptions};
 use aji_corpus::GenConfig;
 use aji_pta::{analyze, AnalysisOptions, CgMetrics};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use aji_support::bench::{black_box, Suite};
 
 fn size_class(libs: usize, mods: usize, seed: u64) -> GenConfig {
     GenConfig {
@@ -24,9 +25,8 @@ fn size_class(libs: usize, mods: usize, seed: u64) -> GenConfig {
     }
 }
 
-fn bench_callgraph(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4-7-callgraph");
-    g.sample_size(15);
+fn main() {
+    let mut suite = Suite::new("fig4-7-callgraph").iters(15);
     for (libs, mods) in [(2usize, 2usize), (6, 6), (12, 12)] {
         let cfg = size_class(libs, mods, 4242);
         let project = aji_corpus::generate(&cfg);
@@ -41,15 +41,12 @@ fn bench_callgraph(c: &mut Criterion) {
             CgMetrics::of(&x.call_graph).call_edges > CgMetrics::of(&b.call_graph).call_edges
         );
         let label = format!("{libs}libs-{mods}mods");
-        g.bench_with_input(BenchmarkId::new("baseline", &label), &project, |b, p| {
-            b.iter(|| analyze(p, None, &AnalysisOptions::baseline()).unwrap())
+        suite.bench(format!("baseline/{label}"), || {
+            black_box(analyze(&project, None, &AnalysisOptions::baseline()).unwrap())
         });
-        g.bench_with_input(BenchmarkId::new("extended", &label), &project, |b, p| {
-            b.iter(|| analyze(p, Some(&hints), &AnalysisOptions::extended()).unwrap())
+        suite.bench(format!("extended/{label}"), || {
+            black_box(analyze(&project, Some(&hints), &AnalysisOptions::extended()).unwrap())
         });
     }
-    g.finish();
+    suite.finish();
 }
-
-criterion_group!(benches, bench_callgraph);
-criterion_main!(benches);

@@ -1,12 +1,13 @@
-//! Criterion benchmarks for the three pipeline stages of Table 3:
-//! baseline static analysis, approximate interpretation, and the extended
-//! static analysis, on representative corpus projects.
+//! Benchmarks for the three pipeline stages of Table 3 — baseline static
+//! analysis, approximate interpretation, and the extended static
+//! analysis — on representative corpus projects, using the in-tree
+//! `aji-support` bench harness.
 
 use aji_approx::{approximate_interpret, ApproxOptions};
 use aji_pta::{analyze, AnalysisOptions};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use aji_support::bench::{black_box, Suite};
 
-fn bench_stages(c: &mut Criterion) {
+fn main() {
     let small = aji_corpus::pattern_projects()
         .into_iter()
         .find(|p| p.name == "webframe-app")
@@ -26,24 +27,20 @@ fn bench_stages(c: &mut Criterion) {
         hard_dispatch_fraction: 0.0,
     });
 
-    let mut g = c.benchmark_group("table3-stages");
-    g.sample_size(20);
+    let mut suite = Suite::new("table3-stages").iters(20);
     for (label, project) in [("webframe", &small), ("generated-medium", &medium)] {
         let hints = approximate_interpret(project, &ApproxOptions::default())
             .expect("approx")
             .hints;
-        g.bench_with_input(BenchmarkId::new("baseline", label), project, |b, p| {
-            b.iter(|| analyze(p, None, &AnalysisOptions::baseline()).unwrap())
+        suite.bench(format!("baseline/{label}"), || {
+            black_box(analyze(project, None, &AnalysisOptions::baseline()).unwrap())
         });
-        g.bench_with_input(BenchmarkId::new("approx-interp", label), project, |b, p| {
-            b.iter(|| approximate_interpret(p, &ApproxOptions::default()).unwrap())
+        suite.bench(format!("approx-interp/{label}"), || {
+            black_box(approximate_interpret(project, &ApproxOptions::default()).unwrap())
         });
-        g.bench_with_input(BenchmarkId::new("extended", label), project, |b, p| {
-            b.iter(|| analyze(p, Some(&hints), &AnalysisOptions::extended()).unwrap())
+        suite.bench(format!("extended/{label}"), || {
+            black_box(analyze(project, Some(&hints), &AnalysisOptions::extended()).unwrap())
         });
     }
-    g.finish();
+    suite.finish();
 }
-
-criterion_group!(benches, bench_stages);
-criterion_main!(benches);

@@ -1,32 +1,28 @@
-//! Criterion benchmark behind Table 2: producing dynamic call graphs
-//! (concrete interpreter runs of test drivers) and comparing static call
-//! graphs against them.
+//! Benchmark behind Table 2: producing dynamic call graphs (concrete
+//! interpreter runs of test drivers) and comparing static call graphs
+//! against them. Uses the in-tree `aji-support` bench harness.
 
 use aji::{dynamic_call_graph, PipelineOptions};
 use aji_interp::InterpOptions;
 use aji_pta::{analyze, Accuracy, AnalysisOptions};
-use criterion::{criterion_group, criterion_main, Criterion};
+use aji_support::bench::{black_box, Suite};
 
-fn bench_recall(c: &mut Criterion) {
+fn main() {
     let project = aji_corpus::pattern_projects()
         .into_iter()
         .find(|p| p.name == "webframe-app")
         .expect("webframe");
     let _ = PipelineOptions::default();
 
-    let mut g = c.benchmark_group("table2-recall");
-    g.sample_size(20);
-    g.bench_function("dynamic-callgraph-run", |b| {
-        b.iter(|| dynamic_call_graph(&project, &InterpOptions::default()).unwrap())
+    let mut suite = Suite::new("table2-recall").iters(20);
+    suite.bench("dynamic-callgraph-run", || {
+        black_box(dynamic_call_graph(&project, &InterpOptions::default()).unwrap())
     });
 
     let dyn_edges = dynamic_call_graph(&project, &InterpOptions::default()).unwrap();
     let analysis = analyze(&project, None, &AnalysisOptions::baseline()).unwrap();
-    g.bench_function("accuracy-comparison", |b| {
-        b.iter(|| Accuracy::compare(&analysis.call_graph, &dyn_edges))
+    suite.bench("accuracy-comparison", || {
+        black_box(Accuracy::compare(&analysis.call_graph, &dyn_edges))
     });
-    g.finish();
+    suite.finish();
 }
-
-criterion_group!(benches, bench_recall);
-criterion_main!(benches);

@@ -1,13 +1,14 @@
-//! Criterion benchmarks of the substrates: parser throughput, concrete
+//! Benchmarks of the substrates: parser throughput, concrete
 //! interpretation, and the approximate interpreter's worklist, plus the
-//! budget ablation from DESIGN.md (loop-limit vs hints produced).
+//! budget ablation from DESIGN.md (loop-limit vs hints produced). Uses
+//! the in-tree `aji-support` bench harness.
 
 use aji_approx::{approximate_interpret, ApproxOptions};
 use aji_ast::{FileId, NodeIdGen};
 use aji_interp::{Interp, InterpOptions};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use aji_support::bench::{black_box, Suite};
 
-fn bench_parser(c: &mut Criterion) {
+fn bench_parser(suite: &mut Suite) {
     let project = aji_corpus::generate(&aji_corpus::GenConfig {
         name: "parse-bench".into(),
         seed: 9,
@@ -23,38 +24,30 @@ fn bench_parser(c: &mut Criterion) {
         hard_dispatch_fraction: 0.0,
     });
     let total: usize = project.files.iter().map(|f| f.src.len()).sum();
-    let mut g = c.benchmark_group("substrate-parser");
-    g.throughput(Throughput::Bytes(total as u64));
-    g.bench_function("parse-project", |b| {
-        b.iter(|| {
-            let mut ids = NodeIdGen::new();
-            for (i, f) in project.files.iter().enumerate() {
-                aji_parser::parse_module(&f.src, FileId(i as u32), &mut ids).unwrap();
-            }
-        })
+    let r = suite.bench(format!("parse-project/{total}B"), || {
+        let mut ids = NodeIdGen::new();
+        for (i, f) in project.files.iter().enumerate() {
+            black_box(aji_parser::parse_module(&f.src, FileId(i as u32), &mut ids).unwrap());
+        }
     });
-    g.finish();
+    let mb_per_s = total as f64 / (r.median_ns() as f64 / 1e9) / 1e6;
+    eprintln!("  parse throughput: {mb_per_s:.1} MB/s");
 }
 
-fn bench_interp(c: &mut Criterion) {
+fn bench_interp(suite: &mut Suite) {
     let project = aji_corpus::pattern_projects()
         .into_iter()
         .find(|p| p.name == "webframe-app")
         .unwrap();
-    let mut g = c.benchmark_group("substrate-interp");
-    g.sample_size(20);
-    g.bench_function("concrete-run-webframe", |b| {
-        b.iter(|| {
-            let mut interp = Interp::new(&project).unwrap();
-            interp.run_module("index.js").unwrap()
-        })
+    suite.bench("concrete-run-webframe", || {
+        let mut interp = Interp::new(&project).unwrap();
+        black_box(interp.run_module("index.js").unwrap())
     });
-    g.finish();
 }
 
 /// Ablation: how the approximate interpreter's loop budget affects the
 /// number of hints (the trade-off §5 mentions but does not explore).
-fn bench_budget_ablation(c: &mut Criterion) {
+fn bench_budget_ablation(suite: &mut Suite) {
     let project = aji_corpus::generate(&aji_corpus::GenConfig {
         name: "budget-bench".into(),
         seed: 31,
@@ -69,8 +62,6 @@ fn bench_budget_ablation(c: &mut Criterion) {
         vulns: 0,
         hard_dispatch_fraction: 0.0,
     });
-    let mut g = c.benchmark_group("ablation-approx-budget");
-    g.sample_size(15);
     for loop_limit in [100u64, 1_000, 10_000] {
         let opts = ApproxOptions {
             interp: InterpOptions {
@@ -79,14 +70,16 @@ fn bench_budget_ablation(c: &mut Criterion) {
             },
             ..ApproxOptions::default()
         };
-        g.bench_with_input(
-            BenchmarkId::new("loop-limit", loop_limit),
-            &opts,
-            |b, opts| b.iter(|| approximate_interpret(&project, opts).unwrap()),
-        );
+        suite.bench(format!("approx-budget/loop-limit-{loop_limit}"), || {
+            black_box(approximate_interpret(&project, &opts).unwrap())
+        });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_parser, bench_interp, bench_budget_ablation);
-criterion_main!(benches);
+fn main() {
+    let mut suite = Suite::new("substrate").iters(15);
+    bench_parser(&mut suite);
+    bench_interp(&mut suite);
+    bench_budget_ablation(&mut suite);
+    suite.finish();
+}

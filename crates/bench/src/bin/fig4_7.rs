@@ -8,7 +8,6 @@
 
 use aji::{run_benchmark, BenchmarkReport, PipelineOptions};
 use aji_ast::Project;
-use std::sync::Mutex;
 
 struct Row {
     name: String,
@@ -145,29 +144,17 @@ fn avg(xs: &[f64]) -> f64 {
 
 /// Runs the pipeline over all projects on a small thread pool.
 fn run_all(projects: Vec<Project>) -> Vec<Row> {
-    let results = Mutex::new(Vec::new());
-    let work = Mutex::new(projects.into_iter().enumerate().collect::<Vec<_>>());
-    let threads: usize = std::thread::available_parallelism()
-        .map(|n| n.get().min(8))
-        .unwrap_or(4);
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let item = work.lock().unwrap().pop();
-                let Some((i, project)) = item else { break };
-                let opts = PipelineOptions::default();
-                match run_benchmark(&project, &opts) {
-                    Ok(report) => {
-                        results.lock().unwrap().push((i, row_of(&report)));
-                    }
-                    Err(e) => {
-                        eprintln!("benchmark {} failed: {e}", project.name);
-                    }
-                }
-            });
+    aji_support::par::map(projects, 0, |project| {
+        let opts = PipelineOptions::default();
+        match run_benchmark(&project, &opts) {
+            Ok(report) => Some(row_of(&report)),
+            Err(e) => {
+                eprintln!("benchmark {} failed: {e}", project.name);
+                None
+            }
         }
-    });
-    let mut rows = results.into_inner().unwrap();
-    rows.sort_by_key(|(i, _)| *i);
-    rows.into_iter().map(|(_, r)| r).collect()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }

@@ -40,6 +40,7 @@ use aji_approx::{approximate_interpret, ApproxOptions, ApproxResult, Hints};
 use aji_ast::{Loc, Project};
 use aji_interp::{DynCallGraph, Interp, InterpOptions};
 use aji_pta::{analyze, Accuracy, Analysis, AnalysisOptions, CgMetrics};
+use aji_support::{Json, ToJson};
 use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -162,6 +163,47 @@ pub struct BenchmarkReport {
     pub baseline_call_graph: CallGraph,
     /// The hints (for reuse across projects, §6).
     pub hints: Hints,
+}
+
+impl BenchmarkReport {
+    /// Serializes the report — metrics, timings, accuracy, vulnerability
+    /// counts and the full hint set — as a JSON value, so experiment runs
+    /// can be persisted and re-read (`Hints::from_json_str` reloads the
+    /// `"hints"` field).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("name", Json::Str(self.name.clone())),
+            ("baseline", self.baseline.to_json()),
+            ("extended", self.extended.to_json()),
+            ("baseline_seconds", Json::Num(self.baseline_seconds)),
+            ("approx_seconds", Json::Num(self.approx_seconds)),
+            ("extended_seconds", Json::Num(self.extended_seconds)),
+            ("hint_count", self.hint_count.to_json()),
+            ("approx_coverage", Json::Num(self.approx_stats.coverage())),
+        ];
+        if let Some(acc) = &self.accuracy {
+            pairs.push((
+                "accuracy",
+                Json::obj(vec![
+                    ("baseline", acc.baseline.to_json()),
+                    ("extended", acc.extended.to_json()),
+                    ("dynamic_edges", acc.dynamic_edges.to_json()),
+                ]),
+            ));
+        }
+        if let Some(v) = &self.vulns {
+            pairs.push((
+                "vulns",
+                Json::obj(vec![
+                    ("total", v.total.to_json()),
+                    ("reachable_baseline", v.reachable_baseline.to_json()),
+                    ("reachable_extended", v.reachable_extended.to_json()),
+                ]),
+            ));
+        }
+        pairs.push(("hints", self.hints.to_json()));
+        Json::obj(pairs)
+    }
 }
 
 /// Runs the full experiment pipeline on one project.
@@ -355,5 +397,27 @@ mod tests {
         assert_eq!(v.total, 2);
         assert_eq!(v.reachable_baseline, 1);
         assert_eq!(v.reachable_extended, 1);
+    }
+
+    #[test]
+    fn report_serializes_and_hints_reload() {
+        let mut p = Project::new("demo");
+        p.add_file(
+            "index.js",
+            "var api = {};\n\
+             ['a', 'b'].forEach(function(m) { api[m] = function() {}; });\n\
+             api.a();",
+        );
+        p.test_driver = Some("index.js".to_string());
+        let r = run_benchmark(&p, &PipelineOptions::with_dynamic_cg()).unwrap();
+        let text = r.to_json().to_string();
+        let doc = Json::parse(&text).expect("report JSON parses");
+        assert_eq!(doc.get("name").and_then(Json::as_str), Some("demo"));
+        assert!(doc.get("accuracy").is_some());
+        // The persisted hints reload to an equal hint set.
+        let hints_json = doc.get("hints").expect("hints field");
+        let reloaded = Hints::from_json_str(&hints_json.to_string()).unwrap();
+        assert_eq!(reloaded, r.hints);
+        assert_eq!(reloaded.len(), r.hint_count);
     }
 }

@@ -1,10 +1,12 @@
-//! Property-based parser tests: generated programs must parse, and
+//! Property-based parser tests (ported from proptest to the in-tree
+//! `aji-support` check harness): generated programs must parse, and
 //! `print ∘ parse` must be a fixpoint (printing is stable and loses no
 //! structure).
 
 use aji_ast::print::print_module;
 use aji_ast::{FileId, NodeIdGen};
-use proptest::prelude::*;
+use aji_support::check::{property, TestCase};
+use aji_support::{prop_assert, prop_assert_eq};
 
 const KEYWORDS: &[&str] = &[
     "var", "let", "const", "function", "return", "if", "else", "while", "do", "for", "in",
@@ -14,107 +16,142 @@ const KEYWORDS: &[&str] = &[
     "arguments", "eval", "undefined",
 ];
 
-fn ident() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,5}".prop_filter("keyword", |s| !KEYWORDS.contains(&s.as_str()))
-}
-
-fn literal() -> impl Strategy<Value = String> {
-    prop_oneof![
-        (0u32..100000).prop_map(|n| n.to_string()),
-        "[a-zA-Z0-9 _.-]{0,10}".prop_map(|s| format!("'{s}'")),
-        Just("true".to_string()),
-        Just("false".to_string()),
-        Just("null".to_string()),
-        Just("this".to_string()),
-    ]
-}
-
-fn expr() -> impl Strategy<Value = String> {
-    let leaf = prop_oneof![literal(), ident()];
-    leaf.prop_recursive(4, 24, 4, |inner| {
-        prop_oneof![
-            // Binary operators.
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just("+"), Just("-"), Just("*"), Just("==="), Just("<"), Just("&&"), Just("||")
-            ])
-                .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
-            // Member access.
-            (inner.clone(), ident()).prop_map(|(a, p)| format!("({a}).{p}")),
-            // Dynamic member access (the paper's favorite construct).
-            (inner.clone(), inner.clone()).prop_map(|(a, k)| format!("({a})[{k}]")),
-            // Calls.
-            (ident(), proptest::collection::vec(inner.clone(), 0..3))
-                .prop_map(|(f, args)| format!("{f}({})", args.join(", "))),
-            // Conditional.
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(a, b, c)| format!("({a} ? {b} : {c})")),
-            // Unary.
-            inner.clone().prop_map(|a| format!("(!{a})")),
-            inner.clone().prop_map(|a| format!("(typeof {a})")),
-            // Function expression.
-            (ident(), inner.clone())
-                .prop_map(|(p, b)| format!("(function({p}) {{ return {b}; }})")),
-            // Arrow.
-            (ident(), inner.clone()).prop_map(|(p, b)| format!("(({p}) => ({b}))")),
-            // Array and object literals.
-            proptest::collection::vec(inner.clone(), 0..3)
-                .prop_map(|xs| format!("[{}]", xs.join(", "))),
-            (ident(), inner.clone()).prop_map(|(k, v)| format!("({{ {k}: {v} }})")),
-            // Template literal.
-            (inner.clone(), "[a-z ]{0,6}").prop_map(|(e, t)| format!("`{t}${{{e}}}`")),
-            // new.
-            (ident(), proptest::collection::vec(inner, 0..2))
-                .prop_map(|(f, args)| format!("new {f}({})", args.join(", "))),
-        ]
-    })
-}
-
-fn stmt() -> impl Strategy<Value = String> {
-    prop_oneof![
-        (ident(), expr()).prop_map(|(x, e)| format!("var {x} = {e};")),
-        (ident(), expr()).prop_map(|(x, e)| format!("let {x} = {e};")),
-        expr().prop_map(|e| format!("f0({e});")),
-        (expr(), expr()).prop_map(|(c, e)| format!("if ({c}) {{ g0({e}); }}")),
-        (ident(), expr()).prop_map(|(x, e)| format!(
-            "function {x}(a, b) {{ return {e}; }}"
-        )),
-        (ident(), expr(), expr()).prop_map(|(x, a, b)| format!(
-            "for (var {x} = {a}; {x} < 3; {x}++) {{ h0({b}); }}"
-        )),
-        (expr(), expr()).prop_map(|(a, b)| format!("try {{ k0({a}); }} catch (e9) {{ k1({b}); }}")),
-        (ident(), expr()).prop_map(|(k, e)| format!("obj0[{e}] = {k};")),
-    ]
-}
-
-fn program() -> impl Strategy<Value = String> {
-    proptest::collection::vec(stmt(), 1..6).prop_map(|ss| ss.join("\n"))
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn generated_programs_parse(src in program()) {
-        let mut ids = NodeIdGen::new();
-        aji_parser::parse_module(&src, FileId(0), &mut ids)
-            .unwrap_or_else(|e| panic!("parse failed: {e}\n{src}"));
+fn ident(tc: &mut TestCase) -> String {
+    let first = tc.char_in("abcdefghijklmnopqrstuvwxyz");
+    let rest = tc.string_of("abcdefghijklmnopqrstuvwxyz0123456789_", 0..6);
+    let mut s = format!("{first}{rest}");
+    if KEYWORDS.contains(&s.as_str()) {
+        // Suffixing always de-keywords the name (no keyword extends
+        // another by one letter here).
+        s.push('x');
     }
+    s
+}
 
-    #[test]
-    fn print_parse_fixpoint(src in program()) {
+fn literal(tc: &mut TestCase) -> String {
+    match tc.int_in(0u32..6) {
+        0 => tc.int_in(0u32..100_000).to_string(),
+        1 => format!(
+            "'{}'",
+            tc.string_of("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _.-", 0..10)
+        ),
+        2 => "true".to_string(),
+        3 => "false".to_string(),
+        4 => "null".to_string(),
+        _ => "this".to_string(),
+    }
+}
+
+fn expr(tc: &mut TestCase, depth: u32) -> String {
+    if depth == 0 || tc.ratio(1, 4) {
+        return if tc.bool() { literal(tc) } else { ident(tc) };
+    }
+    let d = depth - 1;
+    match tc.int_in(0u32..13) {
+        0 => {
+            let a = expr(tc, d);
+            let b = expr(tc, d);
+            let op = *tc.pick(&["+", "-", "*", "===", "<", "&&", "||"]);
+            format!("({a} {op} {b})")
+        }
+        1 => format!("({}).{}", expr(tc, d), ident(tc)),
+        // Dynamic member access (the paper's favorite construct).
+        2 => format!("({})[{}]", expr(tc, d), expr(tc, d)),
+        3 => {
+            let f = ident(tc);
+            let args = tc_join(tc, d, 0..3);
+            format!("{f}({args})")
+        }
+        4 => format!("({} ? {} : {})", expr(tc, d), expr(tc, d), expr(tc, d)),
+        5 => format!("(!{})", expr(tc, d)),
+        6 => format!("(typeof {})", expr(tc, d)),
+        7 => format!("(function({}) {{ return {}; }})", ident(tc), expr(tc, d)),
+        8 => format!("(({}) => ({}))", ident(tc), expr(tc, d)),
+        9 => format!("[{}]", tc_join(tc, d, 0..3)),
+        10 => format!("({{ {}: {} }})", ident(tc), expr(tc, d)),
+        11 => {
+            let t = tc.string_of("abcdefghijklmnopqrstuvwxyz ", 0..6);
+            format!("`{t}${{{}}}`", expr(tc, d))
+        }
+        _ => {
+            let f = ident(tc);
+            let args = tc_join(tc, d, 0..2);
+            format!("new {f}({args})")
+        }
+    }
+}
+
+fn tc_join(tc: &mut TestCase, depth: u32, n: std::ops::Range<usize>) -> String {
+    tc.vec_of(n, |t| expr(t, depth)).join(", ")
+}
+
+fn stmt(tc: &mut TestCase) -> String {
+    match tc.int_in(0u32..8) {
+        0 => format!("var {} = {};", ident(tc), expr(tc, 4)),
+        1 => format!("let {} = {};", ident(tc), expr(tc, 4)),
+        2 => format!("f0({});", expr(tc, 4)),
+        3 => format!("if ({}) {{ g0({}); }}", expr(tc, 4), expr(tc, 4)),
+        4 => format!("function {}(a, b) {{ return {}; }}", ident(tc), expr(tc, 4)),
+        5 => {
+            let x = ident(tc);
+            format!(
+                "for (var {x} = {}; {x} < 3; {x}++) {{ h0({}); }}",
+                expr(tc, 4),
+                expr(tc, 4)
+            )
+        }
+        6 => format!(
+            "try {{ k0({}); }} catch (e9) {{ k1({}); }}",
+            expr(tc, 4),
+            expr(tc, 4)
+        ),
+        _ => format!("obj0[{}] = {};", expr(tc, 4), ident(tc)),
+    }
+}
+
+fn program(tc: &mut TestCase) -> String {
+    tc.vec_of(1..6, stmt).join("\n")
+}
+
+#[test]
+fn generated_programs_parse() {
+    property("generated_programs_parse").cases(256).run(|tc| {
+        let src = program(tc);
         let mut ids = NodeIdGen::new();
-        let m1 = aji_parser::parse_module(&src, FileId(0), &mut ids)
-            .unwrap_or_else(|e| panic!("parse failed: {e}\n{src}"));
+        let parsed = aji_parser::parse_module(&src, FileId(0), &mut ids);
+        prop_assert!(parsed.is_ok(), "parse failed: {:?}\n{src}", parsed.err());
+        Ok(())
+    });
+}
+
+#[test]
+fn print_parse_fixpoint() {
+    property("print_parse_fixpoint").cases(256).run(|tc| {
+        let src = program(tc);
+        let mut ids = NodeIdGen::new();
+        let m1 = match aji_parser::parse_module(&src, FileId(0), &mut ids) {
+            Ok(m) => m,
+            Err(e) => return Err(format!("parse failed: {e}\n{src}")),
+        };
         let once = print_module(&m1);
         let mut ids2 = NodeIdGen::new();
-        let m2 = aji_parser::parse_module(&once, FileId(0), &mut ids2)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\noriginal:\n{src}\nprinted:\n{once}"));
+        let m2 = match aji_parser::parse_module(&once, FileId(0), &mut ids2) {
+            Ok(m) => m,
+            Err(e) => {
+                return Err(format!(
+                    "reparse failed: {e}\noriginal:\n{src}\nprinted:\n{once}"
+                ))
+            }
+        };
         let twice = print_module(&m2);
         prop_assert_eq!(&once, &twice, "printer unstable for:\n{}", src);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn node_ids_unique_per_parse(src in program()) {
+#[test]
+fn node_ids_unique_per_parse() {
+    property("node_ids_unique_per_parse").cases(256).run(|tc| {
         use aji_ast::visit::{walk_expr, walk_module, Visit};
         struct Ids(Vec<u32>);
         impl Visit for Ids {
@@ -123,25 +160,48 @@ proptest! {
                 walk_expr(self, e);
             }
         }
+        let src = program(tc);
         let mut ids = NodeIdGen::new();
-        let m = aji_parser::parse_module(&src, FileId(0), &mut ids).unwrap();
+        let m = match aji_parser::parse_module(&src, FileId(0), &mut ids) {
+            Ok(m) => m,
+            Err(e) => return Err(format!("parse failed: {e}\n{src}")),
+        };
         let mut v = Ids(Vec::new());
         walk_module(&mut v, &m);
         let mut sorted = v.0.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        prop_assert_eq!(sorted.len(), v.0.len(), "duplicate expr node ids");
-    }
+        prop_assert_eq!(sorted.len(), v.0.len(), "duplicate expr node ids in:\n{}", src);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn lexer_never_panics(src in "[ -~\\n]{0,200}") {
-        // Arbitrary printable input: lexing may fail but must not panic.
+/// All printable ASCII plus newline — the port of proptest's `[ -~\n]`.
+fn printable_ascii() -> String {
+    let mut s: String = (' '..='~').collect();
+    s.push('\n');
+    s
+}
+
+#[test]
+fn lexer_never_panics() {
+    let charset = printable_ascii();
+    property("lexer_never_panics").cases(256).run(|tc| {
+        // Arbitrary printable input: lexing may fail but must not panic
+        // (a panic fails this #[test] directly).
+        let src = tc.string_of(&charset, 0..200);
         let _ = aji_parser::lex(&src);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn parser_never_panics(src in "[ -~\\n]{0,200}") {
+#[test]
+fn parser_never_panics() {
+    let charset = printable_ascii();
+    property("parser_never_panics").cases(256).run(|tc| {
+        let src = tc.string_of(&charset, 0..200);
         let mut ids = NodeIdGen::new();
         let _ = aji_parser::parse_module(&src, FileId(0), &mut ids);
-    }
+        Ok(())
+    });
 }

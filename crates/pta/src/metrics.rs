@@ -4,6 +4,7 @@
 
 use crate::callgraph::CallGraph;
 use aji_ast::Loc;
+use aji_support::{FromJson, Json, JsonError, ToJson};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Call-graph quality metrics that need no ground truth.
@@ -44,6 +45,37 @@ impl CgMetrics {
     /// Percentage of monomorphic call sites (Figure 7).
     pub fn monomorphic_pct(&self) -> f64 {
         pct(self.monomorphic_sites, self.total_sites)
+    }
+}
+
+impl ToJson for CgMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("call_edges", self.call_edges.to_json()),
+            ("reachable_functions", self.reachable_functions.to_json()),
+            ("total_functions", self.total_functions.to_json()),
+            ("resolved_sites", self.resolved_sites.to_json()),
+            ("monomorphic_sites", self.monomorphic_sites.to_json()),
+            ("total_sites", self.total_sites.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CgMetrics {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let field = |k: &str| {
+            v.get(k)
+                .ok_or_else(|| JsonError::shape(format!("metrics missing field '{k}'")))
+                .and_then(usize::from_json)
+        };
+        Ok(CgMetrics {
+            call_edges: field("call_edges")?,
+            reachable_functions: field("reachable_functions")?,
+            total_functions: field("total_functions")?,
+            resolved_sites: field("resolved_sites")?,
+            monomorphic_sites: field("monomorphic_sites")?,
+            total_sites: field("total_sites")?,
+        })
     }
 }
 
@@ -115,6 +147,17 @@ impl Accuracy {
     }
 }
 
+impl ToJson for Accuracy {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("matched_edges", self.matched_edges.to_json()),
+            ("dynamic_edges", self.dynamic_edges.to_json()),
+            ("recall_pct", Json::Num(self.recall_pct())),
+            ("precision_pct", Json::Num(self.precision_pct())),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,5 +213,26 @@ mod tests {
         let acc = Accuracy::compare(&cg, &BTreeSet::new());
         assert_eq!(acc.recall_pct(), 100.0);
         assert_eq!(acc.precision_pct(), 100.0);
+    }
+
+    #[test]
+    fn metrics_json_roundtrip() {
+        let cg = cg_with_edges(&[(1, 10), (1, 11), (2, 10)], &[3]);
+        let m = CgMetrics::of(&cg);
+        let back =
+            CgMetrics::from_json(&Json::parse(&m.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn accuracy_json_reports_percentages() {
+        let cg = cg_with_edges(&[(1, 10)], &[]);
+        let mut dynamic = BTreeSet::new();
+        dynamic.insert((loc(1), loc(10)));
+        dynamic.insert((loc(2), loc(12)));
+        let j = Accuracy::compare(&cg, &dynamic).to_json();
+        assert_eq!(j.get("matched_edges").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(j.get("dynamic_edges").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(j.get("recall_pct").and_then(Json::as_f64), Some(50.0));
     }
 }

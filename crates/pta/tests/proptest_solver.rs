@@ -1,10 +1,12 @@
-//! Property-based solver tests: subset-edge propagation equals graph
+//! Property-based solver tests (ported from proptest to the in-tree
+//! `aji-support` check harness): subset-edge propagation equals graph
 //! reachability, regardless of the order in which tokens, edges and
 //! constraints arrive.
 
 use aji_ast::{FileId, Loc};
 use aji_pta::solver::{CellId, Constraint, Solver, Token, TokenData};
-use proptest::prelude::*;
+use aji_support::check::{property, TestCase};
+use aji_support::{prop_assert, prop_assert_eq};
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 
 #[derive(Debug, Clone)]
@@ -14,16 +16,15 @@ struct GraphCase {
     seeds: Vec<(usize, u32)>, // (cell, token line)
 }
 
-fn graph_case() -> impl Strategy<Value = GraphCase> {
-    (2usize..12).prop_flat_map(|n| {
-        let edges = proptest::collection::vec((0..n, 0..n), 0..30);
-        let seeds = proptest::collection::vec((0..n, 1u32..6), 1..8);
-        (Just(n), edges, seeds).prop_map(|(n_cells, edges, seeds)| GraphCase {
-            n_cells,
-            edges,
-            seeds,
-        })
-    })
+fn graph_case(tc: &mut TestCase) -> GraphCase {
+    let n = tc.int_in(2usize..12);
+    let edges = tc.vec_of(0..30, |t| (t.int_in(0..n), t.int_in(0..n)));
+    let seeds = tc.vec_of(1..8, |t| (t.int_in(0..n), t.int_in(1u32..6)));
+    GraphCase {
+        n_cells: n,
+        edges,
+        seeds,
+    }
 }
 
 /// Reference reachability: token t seeded at cell c reaches every cell
@@ -60,36 +61,42 @@ fn token_lines(s: &Solver, cell: CellId) -> BTreeSet<u32> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn propagation_equals_reachability(case in graph_case()) {
-        let mut s = Solver::new(vec![]);
-        let cells: Vec<CellId> = (0..case.n_cells).map(|_| s.tmp()).collect();
-        // Interleave seeding and edges to stress incremental propagation.
-        for (i, (a, b)) in case.edges.iter().enumerate() {
-            if let Some((c, line)) = case.seeds.get(i % case.seeds.len()) {
+#[test]
+fn propagation_equals_reachability() {
+    property("propagation_equals_reachability")
+        .cases(256)
+        .run(|tc| {
+            let case = graph_case(tc);
+            let mut s = Solver::new(vec![]);
+            let cells: Vec<CellId> = (0..case.n_cells).map(|_| s.tmp()).collect();
+            // Interleave seeding and edges to stress incremental
+            // propagation.
+            for (i, (a, b)) in case.edges.iter().enumerate() {
+                if let Some((c, line)) = case.seeds.get(i % case.seeds.len()) {
+                    let t = s.token(TokenData::Obj(Loc::new(FileId(0), *line, 1)));
+                    s.add_token(cells[*c], t);
+                }
+                s.add_edge(cells[*a], cells[*b]);
+            }
+            for (c, line) in &case.seeds {
                 let t = s.token(TokenData::Obj(Loc::new(FileId(0), *line, 1)));
                 s.add_token(cells[*c], t);
             }
-            s.add_edge(cells[*a], cells[*b]);
-        }
-        for (c, line) in &case.seeds {
-            let t = s.token(TokenData::Obj(Loc::new(FileId(0), *line, 1)));
-            s.add_token(cells[*c], t);
-        }
-        s.solve();
-        let expected = reference(&case);
-        for (i, cell) in cells.iter().enumerate() {
-            let got = token_lines(&s, *cell);
-            let want = expected.get(&i).cloned().unwrap_or_default();
-            prop_assert_eq!(got, want, "cell {}", i);
-        }
-    }
+            s.solve();
+            let expected = reference(&case);
+            for (i, cell) in cells.iter().enumerate() {
+                let got = token_lines(&s, *cell);
+                let want = expected.get(&i).cloned().unwrap_or_default();
+                prop_assert_eq!(got, want, "cell {} of case {:?}", i, case);
+            }
+            Ok(())
+        });
+}
 
-    #[test]
-    fn edge_order_is_irrelevant(case in graph_case()) {
+#[test]
+fn edge_order_is_irrelevant() {
+    property("edge_order_is_irrelevant").cases(256).run(|tc| {
+        let case = graph_case(tc);
         // Forward insertion order vs reverse must converge identically.
         let build = |edges: &[(usize, usize)]| {
             let mut s = Solver::new(vec![]);
@@ -108,13 +115,18 @@ proptest! {
         let mut rev = case.edges.clone();
         rev.reverse();
         let bwd = build(&rev);
-        prop_assert_eq!(fwd, bwd);
-    }
+        prop_assert_eq!(fwd, bwd, "case {:?}", case);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn store_then_load_is_identity(lines in proptest::collection::btree_set(1u32..50, 1..6)) {
+#[test]
+fn store_then_load_is_identity() {
+    property("store_then_load_is_identity").cases(256).run(|tc| {
         // Storing tokens into a field and loading it back yields the same
         // set, through an arbitrary chain of aliases.
+        let lines: BTreeSet<u32> =
+            tc.vec_of(1..6, |t| t.int_in(1u32..50)).into_iter().collect();
         let mut s = Solver::new(vec![]);
         let obj_cell = s.tmp();
         let alias = s.tmp();
@@ -133,36 +145,45 @@ proptest! {
         s.solve();
         let got = token_lines(&s, dst);
         prop_assert_eq!(got, lines);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn proto_chain_load_sees_ancestors(depth in 1usize..6, line in 1u32..40) {
-        // A chain t0 -> t1 -> ... -> tn; a property stored on the root is
-        // visible from the leaf, regardless of when links are added.
-        let mut s = Solver::new(vec![]);
-        let tokens: Vec<Token> = (0..=depth)
-            .map(|i| s.token(TokenData::Obj(Loc::new(FileId(0), 100 + i as u32, 1))))
-            .collect();
-        let leaf_cell = s.tmp();
-        let out = s.tmp();
-        s.add_token(leaf_cell, tokens[0]);
-        let m = s.interner.intern("m");
-        // Register the read first (forces replay on link addition).
-        s.add_constraint(leaf_cell, Constraint::Load { prop: m, dst: out });
-        s.solve();
-        // Store on the root.
-        let v = s.token(TokenData::Obj(Loc::new(FileId(0), line, 1)));
-        let root_field = {
-            let root = tokens[depth];
-            s.cell(aji_pta::solver::CellKind::Field(root, m))
-        };
-        s.add_token(root_field, v);
-        // Now add the chain links bottom-up.
-        for i in 0..depth {
-            s.add_proto(tokens[i], tokens[i + 1]);
-        }
-        s.solve();
-        let got = token_lines(&s, out);
-        prop_assert!(got.contains(&line), "got {:?}", got);
-    }
+#[test]
+fn proto_chain_load_sees_ancestors() {
+    property("proto_chain_load_sees_ancestors")
+        .cases(256)
+        .run(|tc| {
+            // A chain t0 -> t1 -> ... -> tn; a property stored on the root
+            // is visible from the leaf, regardless of when links are
+            // added.
+            let depth = tc.int_in(1usize..6);
+            let line = tc.int_in(1u32..40);
+            let mut s = Solver::new(vec![]);
+            let tokens: Vec<Token> = (0..=depth)
+                .map(|i| s.token(TokenData::Obj(Loc::new(FileId(0), 100 + i as u32, 1))))
+                .collect();
+            let leaf_cell = s.tmp();
+            let out = s.tmp();
+            s.add_token(leaf_cell, tokens[0]);
+            let m = s.interner.intern("m");
+            // Register the read first (forces replay on link addition).
+            s.add_constraint(leaf_cell, Constraint::Load { prop: m, dst: out });
+            s.solve();
+            // Store on the root.
+            let v = s.token(TokenData::Obj(Loc::new(FileId(0), line, 1)));
+            let root_field = {
+                let root = tokens[depth];
+                s.cell(aji_pta::solver::CellKind::Field(root, m))
+            };
+            s.add_token(root_field, v);
+            // Now add the chain links bottom-up.
+            for i in 0..depth {
+                s.add_proto(tokens[i], tokens[i + 1]);
+            }
+            s.solve();
+            let got = token_lines(&s, out);
+            prop_assert!(got.contains(&line), "got {:?} (depth {})", got, depth);
+            Ok(())
+        });
 }

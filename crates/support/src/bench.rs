@@ -1,0 +1,264 @@
+//! A tiny micro-benchmark harness (replacing `criterion`).
+//!
+//! Model: a *suite* holds named benchmarks. Each benchmark runs a warmup
+//! phase, then `iters` timed iterations, and reports min/median/p95/max
+//! wall-clock time per iteration. `finish()` prints a human-readable table
+//! and writes the raw samples as JSON under `target/aji-bench/`, so
+//! ROADMAP perf claims can be checked against recorded numbers.
+//!
+//! Use [`std::hint::black_box`] (re-exported here) around inputs/outputs
+//! the optimizer must not delete.
+
+pub use std::hint::black_box;
+
+use crate::json::Json;
+use std::time::{Duration, Instant};
+
+/// Timing samples of one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark label (unique within its suite).
+    pub label: String,
+    /// Nanoseconds per timed iteration.
+    pub samples_ns: Vec<u64>,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+impl BenchResult {
+    fn sorted(&self) -> Vec<u64> {
+        let mut s = self.samples_ns.clone();
+        s.sort_unstable();
+        s
+    }
+
+    /// Median time per iteration, in nanoseconds.
+    pub fn median_ns(&self) -> u64 {
+        percentile(&self.sorted(), 0.5)
+    }
+
+    /// 95th-percentile time per iteration, in nanoseconds.
+    pub fn p95_ns(&self) -> u64 {
+        percentile(&self.sorted(), 0.95)
+    }
+
+    /// Fastest iteration, in nanoseconds.
+    pub fn min_ns(&self) -> u64 {
+        self.sorted().first().copied().unwrap_or(0)
+    }
+
+    /// Slowest iteration, in nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.sorted().last().copied().unwrap_or(0)
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// A named collection of benchmarks sharing warmup/iteration settings.
+pub struct Suite {
+    name: String,
+    warmup: u32,
+    iters: u32,
+    results: Vec<BenchResult>,
+}
+
+impl Suite {
+    /// Creates a suite with the default 3 warmup and 20 timed iterations.
+    pub fn new(name: impl Into<String>) -> Self {
+        Suite {
+            name: name.into(),
+            warmup: 3,
+            iters: 20,
+            results: Vec::new(),
+        }
+    }
+
+    /// Sets the number of untimed warmup iterations.
+    pub fn warmup(mut self, n: u32) -> Self {
+        self.warmup = n;
+        self
+    }
+
+    /// Sets the number of timed iterations per benchmark.
+    pub fn iters(mut self, n: u32) -> Self {
+        self.iters = n;
+        self
+    }
+
+    /// Runs `f` under this suite's settings and records it under `label`.
+    /// The closure's return value is passed through [`black_box`] so the
+    /// benchmarked work is not optimized away. Returns the recorded
+    /// result, e.g. for derived throughput reporting.
+    pub fn bench<R>(&mut self, label: impl Into<String>, mut f: impl FnMut() -> R) -> &BenchResult {
+        let label = label.into();
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        let mut samples_ns = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let t = Instant::now();
+            black_box(f());
+            samples_ns.push(t.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+        let r = BenchResult {
+            label: label.clone(),
+            samples_ns,
+        };
+        println!(
+            "{:<44} median {:>12}   p95 {:>12}   (n={})",
+            format!("{}/{label}", self.name),
+            fmt_ns(r.median_ns()),
+            fmt_ns(r.p95_ns()),
+            self.iters
+        );
+        self.results.push(r);
+        self.results.last().expect("just pushed")
+    }
+
+    /// Serializes all results (labels + raw nanosecond samples and the
+    /// derived stats) as a JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("suite", Json::Str(self.name.clone())),
+            ("warmup", Json::Num(self.warmup as f64)),
+            ("iters", Json::Num(self.iters as f64)),
+            (
+                "benchmarks",
+                Json::Arr(
+                    self.results
+                        .iter()
+                        .map(|r| {
+                            Json::obj(vec![
+                                ("label", Json::Str(r.label.clone())),
+                                ("median_ns", Json::Num(r.median_ns() as f64)),
+                                ("p95_ns", Json::Num(r.p95_ns() as f64)),
+                                ("min_ns", Json::Num(r.min_ns() as f64)),
+                                ("max_ns", Json::Num(r.max_ns() as f64)),
+                                (
+                                    "samples_ns",
+                                    Json::Arr(
+                                        r.samples_ns
+                                            .iter()
+                                            .map(|&n| Json::Num(n as f64))
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Prints the summary line and writes `target/aji-bench/<suite>.json`
+    /// (best-effort: printing still happens if the filesystem write
+    /// fails). Returns the results for programmatic use.
+    pub fn finish(self) -> Vec<BenchResult> {
+        let json = self.to_json().to_string();
+        let dir = target_dir().join("aji-bench");
+        let path = dir.join(format!("{}.json", self.name.replace('/', "_")));
+        match std::fs::create_dir_all(&dir).and_then(|_| std::fs::write(&path, &json)) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+        self.results
+    }
+}
+
+/// The build's target directory: `$CARGO_TARGET_DIR` when set, else the
+/// `target/` next to the workspace's `Cargo.lock` (cargo runs test and
+/// bench binaries with the *package* directory as cwd, which for a
+/// workspace member is not where `target/` lives), else `./target`.
+fn target_dir() -> std::path::PathBuf {
+    if let Some(dir) = std::env::var_os("CARGO_TARGET_DIR") {
+        return std::path::PathBuf::from(dir);
+    }
+    let start = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let mut cur = Some(start.as_path());
+    while let Some(d) = cur {
+        if d.join("Cargo.lock").is_file() {
+            return d.join("target");
+        }
+        cur = d.parent();
+    }
+    std::path::PathBuf::from("target")
+}
+
+/// Measures a single closure once, returning elapsed wall-clock time —
+/// a convenience for coarse phase timing inside experiment binaries.
+pub fn time_once<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_requested_iterations() {
+        let mut s = Suite::new("test-suite").warmup(1).iters(5);
+        let mut runs = 0u32;
+        s.bench("count", || {
+            runs += 1;
+            runs
+        });
+        assert_eq!(runs, 6, "1 warmup + 5 timed");
+        assert_eq!(s.results[0].samples_ns.len(), 5);
+    }
+
+    #[test]
+    fn stats_are_order_independent() {
+        let r = BenchResult {
+            label: "x".into(),
+            samples_ns: vec![50, 10, 30, 20, 40],
+        };
+        assert_eq!(r.min_ns(), 10);
+        assert_eq!(r.median_ns(), 30);
+        assert_eq!(r.max_ns(), 50);
+        assert_eq!(r.p95_ns(), 50);
+    }
+
+    #[test]
+    fn json_output_parses_back() {
+        let mut s = Suite::new("json-suite").warmup(0).iters(3);
+        s.bench("noop", || 1 + 1);
+        let j = s.to_json();
+        let reparsed = Json::parse(&j.to_string()).unwrap();
+        assert_eq!(
+            reparsed.get("suite").and_then(Json::as_str),
+            Some("json-suite")
+        );
+        let benches = reparsed.get("benchmarks").and_then(Json::as_arr).unwrap();
+        assert_eq!(benches.len(), 1);
+        assert_eq!(
+            benches[0].get("samples_ns").and_then(Json::as_arr).map(|a| a.len()),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn time_once_measures() {
+        let ((), d) = time_once(|| std::thread::sleep(Duration::from_millis(2)));
+        assert!(d >= Duration::from_millis(2));
+    }
+}

@@ -1,0 +1,34 @@
+//! Hermetic support substrate for the *aji* workspace.
+//!
+//! This workspace builds with **zero external crates** so that the paper
+//! reproduction is exactly as portable as the Rust toolchain itself (the
+//! evaluation environment has no registry access, and offline builds must
+//! be bit-for-bit reproducible). Everything the workspace would otherwise
+//! pull from crates.io lives here, implemented against `std` only:
+//!
+//! - [`rng`] — a seeded splitmix64/xoshiro256\*\* PRNG (replaces `rand`);
+//! - [`json`] — a JSON value model with a strict parser and an escaping
+//!   printer (replaces the `serde`/`serde_json` derives);
+//! - [`check`] — a minithesis-style property-testing harness with
+//!   choice-sequence shrinking and failure-seed replay (replaces
+//!   `proptest`);
+//! - [`bench`] — a warmup + timed-iterations micro-benchmark harness with
+//!   median/p95 reporting and JSON output (replaces `criterion`);
+//! - [`par`] — a `std::thread::scope`-based fan-out helper (replaces
+//!   `crossbeam`).
+//!
+//! Policy: shims for missing third-party functionality live in this crate
+//! and nowhere else. `tests/hermetic.rs` at the workspace root fails the
+//! build if any manifest reintroduces a registry dependency.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod check;
+pub mod json;
+pub mod par;
+pub mod rng;
+
+pub use check::TestCase;
+pub use json::{FromJson, Json, JsonError, ToJson};
+pub use rng::Rng;

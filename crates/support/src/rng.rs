@@ -1,0 +1,234 @@
+//! Seeded pseudo-random numbers: splitmix64 seeding feeding a
+//! xoshiro256\*\* generator.
+//!
+//! The generator is deterministic for a fixed seed on every platform, which
+//! is what the corpus generator and the property-testing harness need: a
+//! project or test case is fully identified by its seed.
+
+use std::ops::Range;
+
+/// Advances a splitmix64 state and returns the next output.
+///
+/// Used for seeding [`Rng`] and anywhere a cheap one-shot mix of a `u64`
+/// is needed (e.g. deriving per-case seeds from a base seed).
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A xoshiro256\*\* PRNG.
+///
+/// Not cryptographic; statistically solid and fast, with a 2^256-1 period.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator whose full state is derived from `seed` via
+    /// splitmix64 (the initialization the xoshiro authors recommend).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Returns the next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)` without modulo bias (rejection
+    /// sampling on the top of the range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "Rng::below called with bound 0");
+        // Largest multiple of `bound` that fits in u64; values at or above
+        // it would bias the low residues.
+        let zone = u64::MAX - u64::MAX % bound;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform value in `range` (half-open), for any primitive integer
+    /// type via [`SampleRange`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn random_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn random_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A fair coin flip.
+    pub fn random_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniformly chosen element of `xs`, or `None` when empty.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.below(xs.len() as u64) as usize])
+        }
+    }
+
+    /// Fisher–Yates shuffle of `xs` in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// Integer types that can be drawn uniformly from a half-open range.
+pub trait SampleRange: Copy {
+    /// Draws a uniform value in `range` from `rng`.
+    fn sample(rng: &mut Rng, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(rng: &mut Rng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let width = (range.end - range.start) as u64;
+                range.start + rng.below(width) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_sample_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(rng: &mut Rng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let width = (range.end as $u).wrapping_sub(range.start as $u);
+                if width as u128 > u64::MAX as u128 {
+                    // Range wider than 64 bits (only possible for i128):
+                    // draw two words.
+                    let hi = rng.next_u64() as u128;
+                    let lo = rng.next_u64() as u128;
+                    let v = ((hi << 64) | lo) % (width as u128);
+                    range.start.wrapping_add(v as $t)
+                } else {
+                    range.start.wrapping_add(rng.below(width as u64) as $t)
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_unsigned!(u8, u16, u32, u64, usize);
+impl_sample_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, i128 => u128);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(-50i64..-10);
+            assert!((-50..-10).contains(&w));
+            let x = rng.random_range(-1000i128..1000);
+            assert!((-1000..1000).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.random_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let f = rng.random_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = Rng::seed_from_u64(11);
+        let xs = [10, 20, 30];
+        for _ in 0..50 {
+            assert!(xs.contains(rng.choose(&xs).unwrap()));
+        }
+        assert!(rng.choose::<u32>(&[]).is_none());
+        let mut v: Vec<u32> = (0..20).collect();
+        let orig = v.clone();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig, "shuffle must be a permutation");
+    }
+
+    #[test]
+    fn shuffle_is_seed_deterministic() {
+        let mut a: Vec<u32> = (0..16).collect();
+        let mut b = a.clone();
+        Rng::seed_from_u64(5).shuffle(&mut a);
+        Rng::seed_from_u64(5).shuffle(&mut b);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Verifies the workspace builds and tests entirely offline — the
+# guarantee the hermetic-build policy (see ROADMAP.md) makes. Run from
+# anywhere; it cd's to the repo root. A clean `target/` is the strongest
+# check: `rm -rf target` first to prove no cached registry artifact is
+# being relied on.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "ok: workspace builds and tests with no network access"

@@ -1,0 +1,182 @@
+//! Hermetic-build audit: every dependency in every workspace manifest
+//! must resolve inside the tree. Registry crates cannot be fetched in
+//! the build environment, so a single `version = "..."`/`git = "..."`
+//! dependency (or a bare `foo = "1.0"`) breaks `cargo build --offline`
+//! for everyone. This test fails fast, naming the offending manifest
+//! line, instead of letting CI discover it via an unresolvable index.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// All Cargo.toml manifests in the workspace: the root plus `crates/*`.
+fn manifests() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut out = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    let entries = fs::read_dir(&crates).expect("crates/ directory");
+    for e in entries {
+        let m = e.expect("dir entry").path().join("Cargo.toml");
+        if m.is_file() {
+            out.push(m);
+        }
+    }
+    out.sort();
+    assert!(out.len() >= 2, "expected the root manifest plus crates/*");
+    out
+}
+
+/// Strips a trailing `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// True when a dependency value resolves in-tree: a `path = "..."` dep,
+/// or `workspace = true` (which defers to `[workspace.dependencies]`,
+/// itself audited to be all-path).
+fn value_is_hermetic(value: &str) -> bool {
+    value.contains("path") && value.contains('=') || value.contains("workspace")
+}
+
+#[test]
+fn all_dependencies_are_in_tree() {
+    let mut violations = Vec::new();
+    for manifest in manifests() {
+        let text = fs::read_to_string(&manifest)
+            .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
+        let mut in_dep_section = false;
+        // Section headers like `[dependencies.foo]` declare one dependency
+        // as a sub-table; its body must contain a hermetic key.
+        let mut pending_subtable: Option<(String, usize)> = None;
+        let mut subtable_ok = false;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                if let Some((name, at)) = pending_subtable.take() {
+                    if !subtable_ok {
+                        violations.push(format!(
+                            "{}:{}: dependency table `{name}` has no path/workspace key",
+                            manifest.display(),
+                            at + 1
+                        ));
+                    }
+                }
+                let section = line.trim_matches(|c| c == '[' || c == ']');
+                let dep_sections = [
+                    "dependencies",
+                    "dev-dependencies",
+                    "build-dependencies",
+                    "workspace.dependencies",
+                ];
+                in_dep_section = dep_sections.contains(&section);
+                if let Some(dep) = dep_sections
+                    .iter()
+                    .find_map(|s| section.strip_prefix(&format!("{s}.")))
+                {
+                    pending_subtable = Some((dep.to_string(), lineno));
+                    subtable_ok = false;
+                    in_dep_section = false;
+                }
+                continue;
+            }
+            if pending_subtable.is_some() {
+                let key = line.split('=').next().unwrap_or("").trim();
+                if key == "path" || (key == "workspace" && line.contains("true")) {
+                    subtable_ok = true;
+                }
+                continue;
+            }
+            if !in_dep_section {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            let key = key.trim();
+            // `foo.workspace = true` spells the key with a dotted suffix.
+            if key.ends_with(".workspace") {
+                continue;
+            }
+            if !value_is_hermetic(value) {
+                violations.push(format!(
+                    "{}:{}: dependency `{key}` is not an in-tree path/workspace dep: {}",
+                    manifest.display(),
+                    lineno + 1,
+                    line
+                ));
+            }
+        }
+        if let Some((name, at)) = pending_subtable {
+            if !subtable_ok {
+                violations.push(format!(
+                    "{}:{}: dependency table `{name}` has no path/workspace key",
+                    manifest.display(),
+                    at + 1
+                ));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "non-hermetic dependencies found (the build environment cannot \
+         fetch registry or git crates):\n{}",
+        violations.join("\n")
+    );
+}
+
+/// The shim crate itself must depend on nothing — it is the one place
+/// third-party functionality is re-implemented, so it can never pull
+/// anything in.
+#[test]
+fn support_crate_has_no_dependencies() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("crates/support/Cargo.toml")
+        .into_os_string();
+    let text = fs::read_to_string(&manifest).expect("support manifest");
+    let mut in_deps = false;
+    for raw in text.lines() {
+        let line = strip_comment(raw).trim();
+        if line.starts_with('[') {
+            in_deps = line.starts_with("[dependencies")
+                || line.starts_with("[dev-dependencies")
+                || line.starts_with("[build-dependencies");
+            continue;
+        }
+        assert!(
+            !(in_deps && line.contains('=')),
+            "aji-support must stay dependency-free, found: {line}"
+        );
+    }
+}
+
+/// The audited workspace layout matches what `[workspace] members`
+/// declares — a new crate directory cannot dodge the audit.
+#[test]
+fn audit_covers_every_workspace_member() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let text = fs::read_to_string(root.join("Cargo.toml")).expect("root manifest");
+    assert!(
+        text.contains("members = [\"crates/*\"]"),
+        "workspace members changed; update tests/hermetic.rs to audit the new layout"
+    );
+    // Every crates/* entry must actually be a package (so the glob above
+    // finding manifests is exhaustive).
+    for e in fs::read_dir(root.join("crates")).expect("crates/") {
+        let p = e.expect("entry").path();
+        assert!(
+            p.join("Cargo.toml").is_file(),
+            "{} is in crates/ but has no Cargo.toml",
+            p.display()
+        );
+    }
+}
