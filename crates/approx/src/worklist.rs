@@ -157,6 +157,54 @@ enum Item {
     Function(NodeId, Value),
 }
 
+/// Observability counters of the worklist driver (all no-ops when
+/// `aji-obs` is inactive).
+#[derive(Default)]
+struct WorklistObs {
+    iterations: aji_obs::Counter,
+    modules: aji_obs::Counter,
+    functions: aji_obs::Counter,
+    aborted: aji_obs::Counter,
+    read_hints: aji_obs::Counter,
+    write_hints: aji_obs::Counter,
+    module_hints: aji_obs::Counter,
+}
+
+impl WorklistObs {
+    fn bind() -> WorklistObs {
+        WorklistObs {
+            iterations: aji_obs::counter("approx.iterations"),
+            modules: aji_obs::counter("approx.modules_processed"),
+            functions: aji_obs::counter("approx.functions_processed"),
+            aborted: aji_obs::counter("approx.items_aborted"),
+            read_hints: aji_obs::counter("approx.read_hints"),
+            write_hints: aji_obs::counter("approx.write_hints"),
+            module_hints: aji_obs::counter("approx.module_hints"),
+        }
+    }
+
+    /// Records how many hints of each kind one worklist item discovered.
+    fn record_hint_deltas(&self, before: (usize, usize, usize), after: (usize, usize, usize)) {
+        let reads = (after.0 - before.0) as u64;
+        let writes = (after.1 - before.1) as u64;
+        let modules = (after.2 - before.2) as u64;
+        self.read_hints.add(reads);
+        self.write_hints.add(writes);
+        self.module_hints.add(modules);
+        aji_obs::histogram_record("approx.hints_per_item", reads + writes + modules);
+    }
+}
+
+/// (read, write, module) hint counts currently collected.
+fn hint_counts(state: &Rc<RefCell<ApproxState>>) -> (usize, usize, usize) {
+    let st = state.borrow();
+    (
+        st.hints.reads.values().map(|s| s.len()).sum(),
+        st.hints.writes.len(),
+        st.hints.modules.values().map(|s| s.len()).sum(),
+    )
+}
+
 /// Runs approximate interpretation on a project.
 ///
 /// # Errors
@@ -169,6 +217,8 @@ pub fn approximate_interpret(
     project: &Project,
     opts: &ApproxOptions,
 ) -> Result<ApproxResult, aji_parser::ParseError> {
+    let _span = aji_obs::span("worklist");
+    let obs = WorklistObs::bind();
     let state = Rc::new(RefCell::new(ApproxState::default()));
     let mut interp_opts = opts.interp.clone();
     interp_opts.approx = true;
@@ -223,8 +273,14 @@ pub fn approximate_interpret(
         };
         stats.items_processed += 1;
         interp.reset_steps();
+        // Hint counting walks the collected maps — only pay for it when
+        // observability is actually recording.
+        let hints_before = obs.iterations.is_live().then(|| hint_counts(&state));
         let outcome: Result<(), JsError> = match item {
-            Item::Module(path) => interp.run_module(&path).map(|_| ()),
+            Item::Module(path) => {
+                obs.modules.inc();
+                interp.run_module(&path).map(|_| ())
+            }
             Item::Function(def, value) => {
                 let already_visited = {
                     let st = state.borrow();
@@ -234,11 +290,17 @@ pub fn approximate_interpret(
                     stats.items_processed -= 1;
                     continue;
                 }
+                obs.functions.inc();
                 run_function_item(&mut interp, &state, def, value)
             }
         };
+        obs.iterations.inc();
+        if let Some(before) = hints_before {
+            obs.record_hint_deltas(before, hint_counts(&state));
+        }
         stats.total_steps += interp.steps();
         if outcome.is_err() {
+            obs.aborted.inc();
             stats.items_aborted += 1;
         }
     }

@@ -1,0 +1,154 @@
+//! aji-report: profile the analysis pipeline with `aji-obs` and render the
+//! collected span tree, counters and histograms.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p aji-bench --bin aji-report -- [OPTIONS] [FILE]
+//!
+//!   (no FILE)          run the pipeline on the doc-example project
+//!   FILE               render a saved report instead of running anything:
+//!                      either `aji-report --json` output or a
+//!                      `BenchmarkReport` JSON with an "obs" field
+//!   --project NAME     run on the named corpus pattern project
+//!                      (webframe, pubsub, plugin-host, …)
+//!   --dynamic          also run the dynamic call-graph phase
+//!   --json             print the ObsReport as JSON instead of text
+//!   --top N            show the top N counters (default 20)
+//! ```
+//!
+//! The binary force-enables collection; `AJI_OBS` need not be set.
+
+use aji::{run_benchmark, PipelineOptions};
+use aji_ast::Project;
+use aji_obs::{render_text, ObsReport, RenderOptions};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: aji-report [--project NAME] [--dynamic] [--json] [--top N] [FILE]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut dynamic = false;
+    let mut top = 20usize;
+    let mut project_name: Option<String> = None;
+    let mut file: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--dynamic" => dynamic = true,
+            "--top" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => top = n,
+                None => return usage(),
+            },
+            "--project" => match args.next() {
+                Some(n) => project_name = Some(n),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ if a.starts_with('-') => return usage(),
+            _ => file = Some(a),
+        }
+    }
+
+    let (label, report) = if let Some(path) = file {
+        match load_report(&path) {
+            Ok(r) => (path, r),
+            Err(e) => {
+                eprintln!("aji-report: cannot load {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let project = match project_name.as_deref() {
+            None => doc_example(),
+            Some(name) => match find_project(name) {
+                Some(p) => p,
+                None => {
+                    eprintln!("aji-report: unknown project '{}'", project_name.unwrap());
+                    eprintln!(
+                        "known: {}",
+                        aji_corpus::pattern_projects()
+                            .iter()
+                            .map(|p| p.name.clone())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            },
+        };
+        match profile(&project, dynamic) {
+            Ok(r) => (project.name.clone(), r),
+            Err(e) => {
+                eprintln!("aji-report: pipeline failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    if json {
+        println!("{}", report.to_json_string());
+    } else {
+        println!("== aji-report: {label} ==");
+        print!("{}", render_text(&report, &RenderOptions { top_counters: top }));
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs the pipeline with collection force-enabled and returns the per-run
+/// observability report.
+fn profile(project: &Project, dynamic: bool) -> Result<ObsReport, aji::PipelineError> {
+    aji_obs::force_enable();
+    let opts = if dynamic {
+        PipelineOptions::with_dynamic_cg()
+    } else {
+        PipelineOptions::default()
+    };
+    let report = run_benchmark(project, &opts)?;
+    Ok(report
+        .obs
+        .expect("collection was force-enabled, report.obs must be set"))
+}
+
+/// Loads a saved report: either a bare `ObsReport` (`aji-report --json`
+/// output) or a `BenchmarkReport` JSON carrying an `"obs"` field.
+fn load_report(path: &str) -> Result<ObsReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    if let Ok(r) = ObsReport::from_json_str(&text) {
+        return Ok(r);
+    }
+    let doc = aji_support::Json::parse(&text).map_err(|e| e.to_string())?;
+    let obs = doc
+        .get("obs")
+        .ok_or("neither an ObsReport nor a BenchmarkReport with an \"obs\" field")?;
+    ObsReport::from_json_str(&obs.to_string()).map_err(|e| e.to_string())
+}
+
+/// The crate-level doc example: a dynamic method table that the baseline
+/// analysis cannot resolve but the extended analysis can.
+fn doc_example() -> Project {
+    let mut project = Project::new("doc-example");
+    project.add_file(
+        "index.js",
+        "var api = {};\n\
+         ['go', 'stop'].forEach(function(m) { api[m] = function() { return m; }; });\n\
+         api.go();\n\
+         api.stop();",
+    );
+    project.test_driver = Some("index.js".to_string());
+    project
+}
+
+fn find_project(name: &str) -> Option<Project> {
+    aji_corpus::pattern_projects()
+        .into_iter()
+        .find(|p| p.name == name)
+}

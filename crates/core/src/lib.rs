@@ -39,13 +39,14 @@
 use aji_approx::{approximate_interpret, ApproxOptions, ApproxResult, Hints};
 use aji_ast::{Loc, Project};
 use aji_interp::{DynCallGraph, Interp, InterpOptions};
+use aji_obs::ObsReport;
 use aji_pta::{analyze, Accuracy, Analysis, AnalysisOptions, CgMetrics};
 use aji_support::{Json, ToJson};
 use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::rc::Rc;
-use std::time::Instant;
+use std::sync::Arc;
 
 pub use aji_approx::ApproxStats;
 pub use aji_pta::CallGraph;
@@ -149,6 +150,15 @@ pub struct BenchmarkReport {
     pub approx_seconds: f64,
     /// Extended static-analysis time (seconds) — Table 3 column 3.
     pub extended_seconds: f64,
+    /// Baseline constraint solving alone (excludes parsing), as measured
+    /// by [`Analysis::analysis_seconds`].
+    pub baseline_analysis_seconds: f64,
+    /// Extended constraint solving alone (excludes parsing).
+    pub extended_analysis_seconds: f64,
+    /// Dynamic call-graph run time (seconds); zero when not requested.
+    pub dynamic_seconds: f64,
+    /// Whole-pipeline wall-clock time (seconds).
+    pub total_seconds: f64,
     /// Number of hints produced.
     pub hint_count: usize,
     /// Pre-analysis statistics (function coverage etc.).
@@ -163,6 +173,10 @@ pub struct BenchmarkReport {
     pub baseline_call_graph: CallGraph,
     /// The hints (for reuse across projects, §6).
     pub hints: Hints,
+    /// Observability report for this run — span tree, counters and
+    /// histograms — when collection was active (`AJI_OBS=1`, an enclosing
+    /// [`aji_obs::scoped`] registry, or [`aji_obs::force_enable`]).
+    pub obs: Option<ObsReport>,
 }
 
 impl BenchmarkReport {
@@ -178,6 +192,16 @@ impl BenchmarkReport {
             ("baseline_seconds", Json::Num(self.baseline_seconds)),
             ("approx_seconds", Json::Num(self.approx_seconds)),
             ("extended_seconds", Json::Num(self.extended_seconds)),
+            (
+                "baseline_analysis_seconds",
+                Json::Num(self.baseline_analysis_seconds),
+            ),
+            (
+                "extended_analysis_seconds",
+                Json::Num(self.extended_analysis_seconds),
+            ),
+            ("dynamic_seconds", Json::Num(self.dynamic_seconds)),
+            ("total_seconds", Json::Num(self.total_seconds)),
             ("hint_count", self.hint_count.to_json()),
             ("approx_coverage", Json::Num(self.approx_stats.coverage())),
         ];
@@ -202,6 +226,9 @@ impl BenchmarkReport {
             ));
         }
         pairs.push(("hints", self.hints.to_json()));
+        if let Some(obs) = &self.obs {
+            pairs.push(("obs", obs.to_json()));
+        }
         Json::obj(pairs)
     }
 }
@@ -218,28 +245,57 @@ pub fn run_benchmark(
     project: &Project,
     opts: &PipelineOptions,
 ) -> Result<BenchmarkReport, PipelineError> {
+    // When collection is active (AJI_OBS, an enclosing scope, or
+    // force_enable), give this run its own registry so `report.obs` covers
+    // exactly this run, then fold it back into the enclosing registry.
+    match aji_obs::current_registry() {
+        Some(parent) => {
+            let reg = Arc::new(aji_obs::Registry::new());
+            let mut report = aji_obs::scoped(&reg, || run_pipeline(project, opts))?;
+            let obs = reg.report();
+            parent.absorb(&obs);
+            report.obs = Some(obs);
+            Ok(report)
+        }
+        None => run_pipeline(project, opts),
+    }
+}
+
+/// The pipeline proper. Phase timings come from the same [`aji_obs::span`]
+/// guards that feed the span tree — [`aji_obs::SpanGuard::finish`] returns
+/// the elapsed time whether or not collection is active.
+fn run_pipeline(
+    project: &Project,
+    opts: &PipelineOptions,
+) -> Result<BenchmarkReport, PipelineError> {
+    let total = aji_obs::span("pipeline");
+
     // 1. Baseline.
-    let t0 = Instant::now();
+    let phase = aji_obs::span("baseline-pta");
     let baseline_analysis = analyze(project, None, &AnalysisOptions::baseline())?;
-    let baseline_seconds = t0.elapsed().as_secs_f64();
+    let baseline_seconds = phase.finish().as_secs_f64();
 
     // 2. Approximate interpretation.
-    let t1 = Instant::now();
+    let phase = aji_obs::span("approx-interp");
     let approx: ApproxResult = approximate_interpret(project, &opts.approx)?;
-    let approx_seconds = t1.elapsed().as_secs_f64();
+    let approx_seconds = phase.finish().as_secs_f64();
 
     // 3. Extended analysis.
-    let t2 = Instant::now();
+    let phase = aji_obs::span("extended-pta");
     let extended_analysis = analyze(project, Some(&approx.hints), &opts.analysis)?;
-    let extended_seconds = t2.elapsed().as_secs_f64();
+    let extended_seconds = phase.finish().as_secs_f64();
 
     // 4. Dynamic call graph (optional).
+    let mut dynamic_seconds = 0.0;
     let accuracy = if opts.dynamic_cg {
-        dynamic_call_graph(project, &opts.dynamic_interp).map(|dyn_edges| AccuracyPair {
+        let phase = aji_obs::span("dynamic-cg");
+        let acc = dynamic_call_graph(project, &opts.dynamic_interp).map(|dyn_edges| AccuracyPair {
             baseline: Accuracy::compare(&baseline_analysis.call_graph, &dyn_edges),
             extended: Accuracy::compare(&extended_analysis.call_graph, &dyn_edges),
             dynamic_edges: dyn_edges.len(),
-        })
+        });
+        dynamic_seconds = phase.finish().as_secs_f64();
+        acc
     } else {
         None
     };
@@ -248,6 +304,7 @@ pub fn run_benchmark(
     let vulns = if project.vulns.is_empty() {
         None
     } else {
+        let _s = aji_obs::span("vuln-study");
         Some(vuln_reachability(
             project,
             &baseline_analysis,
@@ -262,6 +319,10 @@ pub fn run_benchmark(
         baseline_seconds,
         approx_seconds,
         extended_seconds,
+        baseline_analysis_seconds: baseline_analysis.analysis_seconds,
+        extended_analysis_seconds: extended_analysis.analysis_seconds,
+        dynamic_seconds,
+        total_seconds: total.finish().as_secs_f64(),
         hint_count: approx.hints.len(),
         approx_stats: approx.stats,
         accuracy,
@@ -269,6 +330,7 @@ pub fn run_benchmark(
         extended_call_graph: extended_analysis.call_graph,
         baseline_call_graph: baseline_analysis.call_graph,
         hints: approx.hints,
+        obs: None,
     })
 }
 

@@ -39,6 +39,7 @@ mod error;
 mod exprs;
 pub mod heap;
 mod machine;
+pub mod obs;
 mod prelude;
 mod props;
 mod registry;

@@ -8,6 +8,7 @@ use crate::builtins::{self, NativeEntry};
 use crate::env::{Scope, ScopeKind, ScopeRef};
 use crate::error::{BudgetKind, Flow, JsError};
 use crate::heap::{FuncData, Heap, ObjKind, Prop};
+use crate::obs::InterpObs;
 use crate::registry::FuncRegistry;
 use crate::tracer::{NoopTracer, Tracer};
 use crate::value::{ObjId, Value};
@@ -100,6 +101,8 @@ pub struct Interp {
     pub source_map: SourceMap,
     /// Console output captured from `console.log` and friends.
     pub console: Vec<String>,
+    /// Observability counters (no-op handles when `aji-obs` is inactive).
+    pub obs: InterpObs,
 
     pub(crate) modules: Vec<Rc<Module>>,
     pub(crate) paths: Vec<String>,
@@ -165,6 +168,7 @@ impl Interp {
             registry,
             source_map: parsed.source_map,
             console: Vec::new(),
+            obs: InterpObs::bind(),
             modules: parsed.modules.into_iter().map(Rc::new).collect(),
             paths: project.files.iter().map(|f| f.path.clone()).collect(),
             project_file_count,
@@ -256,7 +260,9 @@ impl Interp {
 
     pub(crate) fn step(&mut self) -> Result<(), JsError> {
         self.steps += 1;
+        self.obs.steps.inc();
         if self.steps > self.opts.max_steps {
+            self.obs.budget_exhaustions.inc();
             Err(JsError::Budget(BudgetKind::Steps))
         } else {
             Ok(())
@@ -529,6 +535,7 @@ impl Interp {
         this: Value,
         args: &[Value],
     ) -> Result<Value, JsError> {
+        self.obs.forced_calls.inc();
         self.call_value(callee, this, args, None)
     }
 
@@ -552,14 +559,17 @@ impl Interp {
         match kind {
             ObjKind::Proxy => {
                 // Rule 1 of §3: calls on p* are no-ops with p* as result.
+                self.obs.proxy_ops.inc();
                 Ok(self.proxy_value())
             }
             ObjKind::Native(n) => {
+                self.obs.builtin_dispatches.inc();
                 // Natives count against the stack budget too: some call
                 // back into user code (callbacks, getters, toString).
                 self.depth += 1;
                 if self.depth > self.opts.max_stack {
                     self.depth -= 1;
+                    self.obs.budget_exhaustions.inc();
                     return Err(JsError::Budget(BudgetKind::Stack));
                 }
                 let saved_site = self.current_call_site;
@@ -595,8 +605,10 @@ impl Interp {
         self.depth += 1;
         if self.depth > self.opts.max_stack {
             self.depth -= 1;
+            self.obs.budget_exhaustions.inc();
             return Err(JsError::Budget(BudgetKind::Stack));
         }
+        self.obs.calls.inc();
         let result = self.call_closure_inner(fobj, data, this, args, call_site);
         self.depth -= 1;
         result
@@ -781,7 +793,10 @@ impl Interp {
         };
         let kind = self.heap.get(id).kind.clone();
         match kind {
-            ObjKind::Proxy => Ok(self.proxy_value()),
+            ObjKind::Proxy => {
+                self.obs.proxy_ops.inc();
+                Ok(self.proxy_value())
+            }
             ObjKind::Native(_) => {
                 self.pending_new_loc = site_loc;
                 let r = self.call_value(callee, Value::Undefined, args, call_site);

@@ -1,0 +1,44 @@
+//! Observability hooks for the interpreter.
+//!
+//! Sits next to [`crate::tracer`]: where the [`Tracer`](crate::tracer::Tracer)
+//! reports *semantic* events to the analyses, these counters report *work*
+//! events to `aji-obs`. Handles are bound once at interpreter construction
+//! (against the registry active at that moment), so each hot-path record is
+//! a single relaxed atomic add — and a no-op branch when observability is
+//! off.
+
+use aji_obs::{counter, Counter};
+
+/// Cached counter handles for the interpreter's hot paths.
+#[derive(Debug, Default)]
+pub struct InterpObs {
+    /// Evaluation steps executed ([`crate::Interp::steps`] across runs).
+    pub steps: Counter,
+    /// User-function invocations (closure calls entered).
+    pub calls: Counter,
+    /// Forced calls via [`crate::Interp::call_function`] — the approximate
+    /// interpreter's worklist entry point.
+    pub forced_calls: Counter,
+    /// Operations absorbed by the unknown-value proxy `p*` (calls on the
+    /// proxy, constructions of it, property reads from it).
+    pub proxy_ops: Counter,
+    /// Native (builtin) function dispatches.
+    pub builtin_dispatches: Counter,
+    /// Budget exhaustions (step, stack or loop budget hit).
+    pub budget_exhaustions: Counter,
+}
+
+impl InterpObs {
+    /// Binds handles against the currently active registry (no-op handles
+    /// when observability is inactive).
+    pub fn bind() -> InterpObs {
+        InterpObs {
+            steps: counter("interp.steps"),
+            calls: counter("interp.calls"),
+            forced_calls: counter("interp.forced_calls"),
+            proxy_ops: counter("interp.proxy_ops"),
+            builtin_dispatches: counter("interp.builtin_dispatches"),
+            budget_exhaustions: counter("interp.budget_exhaustions"),
+        }
+    }
+}

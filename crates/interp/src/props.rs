@@ -47,7 +47,10 @@ impl Interp {
                 let id = *id;
                 match &self.heap.get(id).kind {
                     // Rule: property reads on p* yield p*.
-                    ObjKind::Proxy => return Ok(self.proxy_value()),
+                    ObjKind::Proxy => {
+                        self.obs.proxy_ops.inc();
+                        return Ok(self.proxy_value());
+                    }
                     ObjKind::Array(elems)
                         if key == "length" => {
                             return Ok(Value::Num(elems.len() as f64));

@@ -1,0 +1,484 @@
+//! The collector: thread-safe [`Registry`], cheap recording handles, and
+//! the thread-local scope machinery that routes events to a registry.
+
+use crate::report::{CounterRecord, HistogramRecord, ObsReport, SpanRecord};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Number of power-of-two histogram buckets (enough for any `u64`).
+pub(crate) const BUCKETS: usize = 65;
+
+/// Aggregated statistics of one span path.
+#[derive(Debug, Clone, Copy, Default)]
+struct SpanStat {
+    count: u64,
+    total_ns: u64,
+}
+
+/// A bucketed histogram: power-of-two buckets plus count and sum.
+#[derive(Debug)]
+struct Hist {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: Vec<AtomicU64>,
+}
+
+impl Hist {
+    fn new() -> Hist {
+        Hist {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        // Bucket i counts values whose highest set bit is i-1 (bucket 0 is
+        // the value 0), i.e. value ∈ [2^(i-1), 2^i).
+        let idx = (64 - value.leading_zeros()) as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A thread-safe event collector.
+///
+/// Counters and histograms are recorded through cached atomic handles
+/// (lock-free after the first lookup); span aggregation takes a short
+/// uncontended lock at span *exit* only, so even span-heavy phases pay
+/// nothing while running.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    hists: Mutex<BTreeMap<String, Arc<Hist>>>,
+    spans: Mutex<BTreeMap<String, SpanStat>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Returns the counter cell named `name`, creating it at zero.
+    fn counter_cell(&self, name: &str) -> Arc<AtomicU64> {
+        let mut map = self.counters.lock().unwrap();
+        if let Some(c) = map.get(name) {
+            return c.clone();
+        }
+        let c = Arc::new(AtomicU64::new(0));
+        map.insert(name.to_string(), c.clone());
+        c
+    }
+
+    fn hist_cell(&self, name: &str) -> Arc<Hist> {
+        let mut map = self.hists.lock().unwrap();
+        if let Some(h) = map.get(name) {
+            return h.clone();
+        }
+        let h = Arc::new(Hist::new());
+        map.insert(name.to_string(), h.clone());
+        h
+    }
+
+    fn record_span(&self, path: String, elapsed: Duration) {
+        let mut map = self.spans.lock().unwrap();
+        let st = map.entry(path).or_default();
+        st.count += 1;
+        st.total_ns += elapsed.as_nanos() as u64;
+    }
+
+    /// Snapshots everything recorded so far into a serializable report.
+    /// Records appear in deterministic (sorted) order.
+    pub fn report(&self) -> ObsReport {
+        let spans = self
+            .spans
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(path, st)| SpanRecord {
+                path: path.clone(),
+                count: st.count,
+                total_ns: st.total_ns,
+            })
+            .collect();
+        let counters = self
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, c)| CounterRecord {
+                name: name.clone(),
+                value: c.load(Ordering::Relaxed),
+            })
+            .collect();
+        let histograms = self
+            .hists
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, h)| HistogramRecord {
+                name: name.clone(),
+                count: h.count.load(Ordering::Relaxed),
+                sum: h.sum.load(Ordering::Relaxed),
+                buckets: h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, b)| {
+                        let n = b.load(Ordering::Relaxed);
+                        (n > 0).then_some((i as u32, n))
+                    })
+                    .collect(),
+            })
+            .collect();
+        ObsReport {
+            spans,
+            counters,
+            histograms,
+        }
+    }
+
+    /// Adds every record of `report` into this registry — used to fold a
+    /// per-run report back into an enclosing (e.g. whole-corpus) registry.
+    pub fn absorb(&self, report: &ObsReport) {
+        for s in &report.spans {
+            let mut map = self.spans.lock().unwrap();
+            let st = map.entry(s.path.clone()).or_default();
+            st.count += s.count;
+            st.total_ns += s.total_ns;
+        }
+        for c in &report.counters {
+            self.counter_cell(&c.name)
+                .fetch_add(c.value, Ordering::Relaxed);
+        }
+        for h in &report.histograms {
+            let cell = self.hist_cell(&h.name);
+            cell.count.fetch_add(h.count, Ordering::Relaxed);
+            cell.sum.fetch_add(h.sum, Ordering::Relaxed);
+            for (idx, n) in &h.buckets {
+                if let Some(b) = cell.buckets.get(*idx as usize) {
+                    b.fetch_add(*n, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// A cheap counter handle: one relaxed `fetch_add` per [`Counter::add`],
+/// or nothing at all when observability was inactive at lookup time.
+///
+/// Obtain one with [`counter`] and keep it for the hot path; by-name
+/// recording via [`counter_add`] does a map lookup per call and is meant
+/// for cold sites.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A handle that records nothing.
+    pub fn noop() -> Counter {
+        Counter(None)
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Whether this handle records anywhere.
+    pub fn is_live(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
+// ---- global switch and thread-local scope ----
+
+static FORCED: AtomicBool = AtomicBool::new(false);
+static ENV_ENABLED: OnceLock<bool> = OnceLock::new();
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+fn env_enabled() -> bool {
+    *ENV_ENABLED.get_or_init(|| {
+        matches!(
+            std::env::var("AJI_OBS").as_deref(),
+            Ok("1") | Ok("true") | Ok("on")
+        )
+    })
+}
+
+/// Whether observability is globally on (the `AJI_OBS` environment switch
+/// or [`force_enable`]). Scoped registries are active regardless.
+pub fn enabled() -> bool {
+    FORCED.load(Ordering::Relaxed) || env_enabled()
+}
+
+/// Turns global collection on programmatically (used by `aji-report`,
+/// which exists to profile and would be useless with collection off).
+pub fn force_enable() {
+    FORCED.store(true, Ordering::Relaxed);
+}
+
+fn global() -> &'static Arc<Registry> {
+    GLOBAL.get_or_init(|| Arc::new(Registry::new()))
+}
+
+thread_local! {
+    /// Stack of (registry, span-stack depth at installation). Span paths
+    /// recorded into a registry are relative to its installation depth, so
+    /// a per-run registry's report is not prefixed by enclosing spans.
+    static SCOPES: RefCell<Vec<(Arc<Registry>, usize)>> = const { RefCell::new(Vec::new()) };
+    /// Names of the spans currently open on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The registry events on this thread currently record into: the innermost
+/// [`scoped`] registry, else the global one when [`enabled`], else `None`.
+pub fn current_registry() -> Option<Arc<Registry>> {
+    current().map(|(r, _)| r)
+}
+
+fn current() -> Option<(Arc<Registry>, usize)> {
+    let scoped = SCOPES.with(|s| s.borrow().last().cloned());
+    if scoped.is_some() {
+        return scoped;
+    }
+    enabled().then(|| (global().clone(), 0))
+}
+
+/// Runs `f` with `registry` installed as the current thread's collector.
+/// Scopes nest; the innermost wins. Span paths inside the scope are
+/// relative to the scope (enclosing span names do not leak in).
+pub fn scoped<T>(registry: &Arc<Registry>, f: impl FnOnce() -> T) -> T {
+    let depth = SPAN_STACK.with(|s| s.borrow().len());
+    SCOPES.with(|s| s.borrow_mut().push((registry.clone(), depth)));
+    // Pop on unwind too, so a panicking property test doesn't leave its
+    // registry installed for the next test on the same thread.
+    struct PopOnDrop;
+    impl Drop for PopOnDrop {
+        fn drop(&mut self) {
+            SCOPES.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+    let _pop = PopOnDrop;
+    f()
+}
+
+/// Returns a counter handle bound to the current registry ([`Counter::noop`]
+/// when observability is inactive). Obtain once, then [`Counter::add`] on
+/// the hot path.
+pub fn counter(name: &str) -> Counter {
+    match current() {
+        Some((reg, _)) => Counter(Some(reg.counter_cell(name))),
+        None => Counter::noop(),
+    }
+}
+
+/// Adds `n` to the named counter of the current registry (cold-path form:
+/// one map lookup per call).
+pub fn counter_add(name: &str, n: u64) {
+    if let Some((reg, _)) = current() {
+        reg.counter_cell(name).fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Records `value` into the named histogram of the current registry.
+pub fn histogram_record(name: &str, value: u64) {
+    if let Some((reg, _)) = current() {
+        reg.hist_cell(name).record(value);
+    }
+}
+
+/// A timed hierarchical span. Created by [`span`]; records its elapsed
+/// wall-clock time under `parent/…/name` when dropped (or when
+/// [`SpanGuard::finish`] is called, which also returns the elapsed time).
+///
+/// The guard always measures time — [`SpanGuard::finish`] is meaningful
+/// even with observability off — but records only when a registry was
+/// active at creation.
+#[must_use = "a span records when the guard is dropped; binding it to _ drops it immediately"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    start: Instant,
+    /// Registry to record into and the span-path base depth, when active.
+    rec: Option<(Arc<Registry>, usize)>,
+    done: bool,
+}
+
+/// Opens a span named `name`. Nesting is tracked per thread: spans opened
+/// while this guard is live record under `name/…`.
+pub fn span(name: &'static str) -> SpanGuard {
+    let rec = current();
+    if rec.is_some() {
+        SPAN_STACK.with(|s| s.borrow_mut().push(name));
+    }
+    SpanGuard {
+        start: Instant::now(),
+        rec,
+        done: false,
+    }
+}
+
+impl SpanGuard {
+    /// Time elapsed since the span opened.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Closes the span now and returns its elapsed time.
+    pub fn finish(mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        self.record(elapsed);
+        elapsed
+    }
+
+    fn record(&mut self, elapsed: Duration) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        if let Some((reg, base)) = self.rec.take() {
+            let path = SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                let path = stack[base.min(stack.len())..].join("/");
+                stack.pop();
+                path
+            });
+            if !path.is_empty() {
+                reg.record_span(path, elapsed);
+            }
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        self.record(elapsed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_histograms_accumulate() {
+        let reg = Arc::new(Registry::new());
+        scoped(&reg, || {
+            let c = counter("x");
+            assert!(c.is_live());
+            c.add(3);
+            c.inc();
+            counter_add("x", 6);
+            histogram_record("h", 0);
+            histogram_record("h", 1);
+            histogram_record("h", 1000);
+        });
+        let rep = reg.report();
+        assert_eq!(rep.counter("x"), Some(10));
+        let h = &rep.histograms[0];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 1001);
+        // 0 → bucket 0, 1 → bucket 1, 1000 → bucket 10 ([512, 1024)).
+        assert_eq!(h.buckets, vec![(0, 1), (1, 1), (10, 1)]);
+    }
+
+    #[test]
+    fn spans_nest_into_paths() {
+        let reg = Arc::new(Registry::new());
+        scoped(&reg, || {
+            let _a = span("a");
+            {
+                let _b = span("b");
+            }
+            {
+                let _b = span("b");
+            }
+        });
+        let rep = reg.report();
+        let paths: Vec<(&str, u64)> = rep
+            .spans
+            .iter()
+            .map(|s| (s.path.as_str(), s.count))
+            .collect();
+        assert_eq!(paths, vec![("a", 1), ("a/b", 2)]);
+    }
+
+    #[test]
+    fn scope_base_depth_hides_enclosing_spans() {
+        let outer = Arc::new(Registry::new());
+        let inner = Arc::new(Registry::new());
+        scoped(&outer, || {
+            let _o = span("outer");
+            scoped(&inner, || {
+                let _i = span("inner");
+            });
+        });
+        assert_eq!(inner.report().spans[0].path, "inner");
+        assert_eq!(outer.report().spans[0].path, "outer");
+    }
+
+    #[test]
+    fn inactive_recording_is_noop() {
+        // No scope installed and AJI_OBS unset in the test environment:
+        // handles must be no-ops (and must not panic).
+        if enabled() {
+            return; // environment has AJI_OBS set; skip.
+        }
+        let c = counter("dead");
+        assert!(!c.is_live());
+        c.add(5);
+        counter_add("dead", 5);
+        histogram_record("dead", 5);
+        let g = span("dead");
+        assert!(g.finish() >= Duration::ZERO);
+    }
+
+    #[test]
+    fn absorb_folds_reports() {
+        let a = Arc::new(Registry::new());
+        let b = Arc::new(Registry::new());
+        scoped(&a, || {
+            counter_add("n", 2);
+            histogram_record("h", 4);
+            let _s = span("phase");
+        });
+        scoped(&b, || {
+            counter_add("n", 3);
+            histogram_record("h", 4);
+            let _s = span("phase");
+        });
+        b.absorb(&a.report());
+        let rep = b.report();
+        assert_eq!(rep.counter("n"), Some(5));
+        assert_eq!(rep.spans[0].count, 2);
+        assert_eq!(rep.histograms[0].count, 2);
+        assert_eq!(rep.histograms[0].sum, 8);
+    }
+
+    #[test]
+    fn finish_returns_elapsed_and_records_once() {
+        let reg = Arc::new(Registry::new());
+        scoped(&reg, || {
+            let g = span("once");
+            let d = g.finish();
+            assert!(d >= Duration::ZERO);
+        });
+        assert_eq!(reg.report().spans[0].count, 1);
+    }
+}

@@ -1,0 +1,305 @@
+//! The serializable snapshot: [`ObsReport`] and its records, with full
+//! JSON round-trip support via `aji-support`.
+
+use aji_support::{FromJson, Json, JsonError, ToJson};
+
+/// Aggregated timing of one span path (e.g. `"pipeline/baseline-pta/solve"`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SpanRecord {
+    /// `/`-joined path from the outermost span to this one.
+    pub path: String,
+    /// Number of times the span closed.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across all closures.
+    pub total_ns: u64,
+}
+
+impl SpanRecord {
+    /// The span's own name (last path segment).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or(&self.path)
+    }
+
+    /// Nesting depth (0 for a root span).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.path.matches('/').count()
+    }
+
+    /// Total time in seconds.
+    #[must_use]
+    pub fn seconds(&self) -> f64 {
+        self.total_ns as f64 / 1e9
+    }
+}
+
+/// Final value of one named counter.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CounterRecord {
+    /// Counter name (e.g. `"interp.steps"`).
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// Snapshot of one bucketed histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramRecord {
+    /// Histogram name.
+    pub name: String,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Sparse power-of-two buckets: `(index, count)` where index `i > 0`
+    /// covers values in `[2^(i-1), 2^i)` and index 0 is the value 0.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramRecord {
+    /// Mean of the recorded values (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (exclusive) of the bucket containing the p-th
+    /// percentile value, `p` in `[0, 100]` — a coarse quantile good enough
+    /// for profiles.
+    #[must_use]
+    pub fn percentile_bound(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (p / 100.0 * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (idx, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return if *idx == 0 { 0 } else { 1u64 << idx };
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// A full observability snapshot: every span path, counter and histogram a
+/// [`Registry`](crate::Registry) collected, in deterministic sorted order.
+///
+/// This is the schema persisted by `aji-report --json` (and embedded in
+/// `BenchmarkReport` JSON under the `"obs"` key).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObsReport {
+    /// Span timings, sorted by path.
+    pub spans: Vec<SpanRecord>,
+    /// Counters, sorted by name.
+    pub counters: Vec<CounterRecord>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<HistogramRecord>,
+}
+
+impl ObsReport {
+    /// Value of the named counter, if recorded.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The span record whose path ends with `name` (matching a whole
+    /// segment), if any — convenient when the enclosing path is not known.
+    #[must_use]
+    pub fn span_named(&self, name: &str) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.name() == name)
+    }
+
+    /// Total time of the root spans (depth 0) in seconds.
+    #[must_use]
+    pub fn root_seconds(&self) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.depth() == 0)
+            .map(SpanRecord::seconds)
+            .sum()
+    }
+
+    /// Serializes to a compact JSON string.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Parses a report from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the text is not valid JSON or does not
+    /// have the report shape.
+    pub fn from_json_str(s: &str) -> Result<ObsReport, JsonError> {
+        ObsReport::from_json(&Json::parse(s)?)
+    }
+}
+
+fn get<'j>(v: &'j Json, key: &str) -> Result<&'j Json, JsonError> {
+    v.get(key)
+        .ok_or_else(|| JsonError::shape(format!("missing field '{key}'")))
+}
+
+impl ToJson for SpanRecord {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("path", self.path.to_json()),
+            ("count", self.count.to_json()),
+            ("total_ns", self.total_ns.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SpanRecord {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(SpanRecord {
+            path: String::from_json(get(v, "path")?)?,
+            count: u64::from_json(get(v, "count")?)?,
+            total_ns: u64::from_json(get(v, "total_ns")?)?,
+        })
+    }
+}
+
+impl ToJson for CounterRecord {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("value", self.value.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CounterRecord {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(CounterRecord {
+            name: String::from_json(get(v, "name")?)?,
+            value: u64::from_json(get(v, "value")?)?,
+        })
+    }
+}
+
+impl ToJson for HistogramRecord {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("count", self.count.to_json()),
+            ("sum", self.sum.to_json()),
+            ("buckets", self.buckets.to_json()),
+        ])
+    }
+}
+
+impl FromJson for HistogramRecord {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(HistogramRecord {
+            name: String::from_json(get(v, "name")?)?,
+            count: u64::from_json(get(v, "count")?)?,
+            sum: u64::from_json(get(v, "sum")?)?,
+            buckets: Vec::from_json(get(v, "buckets")?)?,
+        })
+    }
+}
+
+impl ToJson for ObsReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("spans", self.spans.to_json()),
+            ("counters", self.counters.to_json()),
+            ("histograms", self.histograms.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ObsReport {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ObsReport {
+            spans: Vec::from_json(get(v, "spans")?)?,
+            counters: Vec::from_json(get(v, "counters")?)?,
+            histograms: Vec::from_json(get(v, "histograms")?)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ObsReport {
+        ObsReport {
+            spans: vec![
+                SpanRecord {
+                    path: "pipeline".into(),
+                    count: 1,
+                    total_ns: 5_000_000,
+                },
+                SpanRecord {
+                    path: "pipeline/solve".into(),
+                    count: 2,
+                    total_ns: 3_000_000,
+                },
+            ],
+            counters: vec![CounterRecord {
+                name: "interp.steps".into(),
+                value: 1234,
+            }],
+            histograms: vec![HistogramRecord {
+                name: "approx.hints_per_item".into(),
+                count: 3,
+                sum: 10,
+                buckets: vec![(0, 1), (3, 2)],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = sample();
+        let back = ObsReport::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn accessors() {
+        let r = sample();
+        assert_eq!(r.counter("interp.steps"), Some(1234));
+        assert_eq!(r.counter("missing"), None);
+        let s = r.span_named("solve").unwrap();
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.name(), "solve");
+        assert!((r.root_seconds() - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let h = HistogramRecord {
+            name: "h".into(),
+            count: 4,
+            sum: 20,
+            buckets: vec![(0, 1), (1, 1), (4, 2)],
+        };
+        assert!((h.mean() - 5.0).abs() < 1e-12);
+        assert_eq!(h.percentile_bound(25.0), 0);
+        assert_eq!(h.percentile_bound(50.0), 2);
+        assert_eq!(h.percentile_bound(100.0), 16);
+        assert_eq!(HistogramRecord::default().percentile_bound(50.0), 0);
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        assert!(ObsReport::from_json_str("{}").is_err());
+        assert!(ObsReport::from_json_str("[1]").is_err());
+        assert!(ObsReport::from_json_str("not json").is_err());
+    }
+}

@@ -65,14 +65,20 @@ impl ParsedProject {
 ///
 /// Returns the first parse error, tagged with the offending file's path.
 pub fn parse_project(project: &Project) -> Result<ParsedProject, ParseError> {
+    let _span = aji_obs::span("parse");
     let source_map = project.source_map();
     let mut ids = NodeIdGen::new();
     let mut modules = Vec::with_capacity(source_map.len());
+    let mut bytes = 0u64;
     for (file, sf) in source_map.iter() {
         let module = parse_module(&sf.src, file, &mut ids)
             .map_err(|e| e.with_path(sf.path.clone()))?;
+        bytes += sf.src.len() as u64;
         modules.push(module);
     }
+    aji_obs::counter_add("parser.files", source_map.len() as u64);
+    aji_obs::counter_add("parser.bytes", bytes);
+    aji_obs::counter_add("parser.nodes", ids.count() as u64);
     Ok(ParsedProject {
         source_map,
         modules,

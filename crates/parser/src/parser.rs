@@ -27,6 +27,7 @@ pub fn parse_module(
     ids: &mut NodeIdGen,
 ) -> Result<Module, ParseError> {
     let tokens = lex(src)?;
+    aji_obs::counter_add("parser.tokens", tokens.len() as u64);
     let mut p = Parser {
         tokens,
         idx: 0,
@@ -60,6 +61,7 @@ pub fn parse_expr(
     ids: &mut NodeIdGen,
 ) -> Result<Expr, ParseError> {
     let tokens = lex(src)?;
+    aji_obs::counter_add("parser.tokens", tokens.len() as u64);
     let mut p = Parser {
         tokens,
         idx: 0,

@@ -109,8 +109,12 @@ pub fn analyze(
 ) -> Result<Analysis, aji_parser::ParseError> {
     let parsed = aji_parser::parse_project(project)?;
     let start = Instant::now();
-    let res = scopes::resolve(&parsed.modules);
+    let res = {
+        let _s = aji_obs::span("resolve-scopes");
+        scopes::resolve(&parsed.modules)
+    };
     let paths: Vec<String> = project.files.iter().map(|f| f.path.clone()).collect();
+    let gen_span = aji_obs::span("generate");
     let GenOutput {
         mut solver,
         dyn_reads,
@@ -118,8 +122,10 @@ pub fn analyze(
         funcs_by_loc,
         objs_by_loc,
     } = generate(&parsed.modules, &parsed.source_map, &res, paths);
+    drop(gen_span);
 
     // Apply hints.
+    let hint_span = aji_obs::span("apply-hints");
     let mut hints_applied = 0;
     if let Some(h) = hints {
         // Hint locations resolve to function tokens first, then to known
@@ -219,9 +225,21 @@ pub fn analyze(
         }
     }
 
-    solver.solve();
-    let call_graph = extract(&solver, project);
+    drop(hint_span);
+
+    {
+        let _s = aji_obs::span("solve");
+        solver.solve();
+    }
+    let call_graph = {
+        let _s = aji_obs::span("extract-cg");
+        extract(&solver, project)
+    };
     let analysis_seconds = start.elapsed().as_secs_f64();
+    aji_obs::counter_add("pta.cells", solver.stats.cells as u64);
+    aji_obs::counter_add("pta.tokens", solver.stats.tokens as u64);
+    aji_obs::counter_add("pta.call_edges", call_graph.edge_count() as u64);
+    aji_obs::counter_add("pta.hints_applied", hints_applied as u64);
     Ok(Analysis {
         call_graph,
         solver_stats: solver.stats.clone(),

@@ -26,6 +26,7 @@ pub struct CgMetrics {
 
 impl CgMetrics {
     /// Computes the metrics of a call graph.
+    #[must_use]
     pub fn of(cg: &CallGraph) -> CgMetrics {
         CgMetrics {
             call_edges: cg.edge_count(),
@@ -38,11 +39,13 @@ impl CgMetrics {
     }
 
     /// Percentage of resolved call sites (Figure 6).
+    #[must_use]
     pub fn resolved_pct(&self) -> f64 {
         pct(self.resolved_sites, self.total_sites)
     }
 
     /// Percentage of monomorphic call sites (Figure 7).
+    #[must_use]
     pub fn monomorphic_pct(&self) -> f64 {
         pct(self.monomorphic_sites, self.total_sites)
     }
@@ -104,6 +107,7 @@ pub struct Accuracy {
 
 impl Accuracy {
     /// Compares a static call graph against dynamic edges.
+    #[must_use]
     pub fn compare(cg: &CallGraph, dynamic: &BTreeSet<(Loc, Loc)>) -> Accuracy {
         let matched = dynamic.iter().filter(|e| cg.edges.contains(e)).count();
 
@@ -133,11 +137,13 @@ impl Accuracy {
 
     /// Call edge set recall (%, Table 2): dynamic edges also found
     /// statically.
+    #[must_use]
     pub fn recall_pct(&self) -> f64 {
         pct(self.matched_edges, self.dynamic_edges)
     }
 
     /// Per-call precision (%, Table 2).
+    #[must_use]
     pub fn precision_pct(&self) -> f64 {
         if self.precision_sites == 0 {
             100.0

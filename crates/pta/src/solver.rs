@@ -218,6 +218,8 @@ pub struct SolverStats {
     pub tokens: usize,
     /// Number of (cell, token) propagation steps processed.
     pub propagations: u64,
+    /// Number of [`Solver::solve`] fixpoint rounds run.
+    pub solve_rounds: u64,
 }
 
 /// The constraint solver.
@@ -380,8 +382,11 @@ impl Solver {
 
     /// Runs propagation to a fixpoint.
     pub fn solve(&mut self) {
+        let steps = aji_obs::counter("pta.propagations");
+        let before = self.stats.propagations;
         while let Some((cell, t)) = self.worklist.pop_front() {
             self.stats.propagations += 1;
+            steps.inc();
             // Successors.
             let succs = self.cells[cell.0 as usize].succs.clone();
             for s in succs {
@@ -392,6 +397,14 @@ impl Solver {
             for c in cons {
                 self.apply(cell, t, &c);
             }
+        }
+        self.stats.solve_rounds += 1;
+        if steps.is_live() {
+            aji_obs::counter_add("pta.solve_rounds", 1);
+            aji_obs::histogram_record(
+                "pta.propagations_per_round",
+                self.stats.propagations - before,
+            );
         }
     }
 

@@ -13,4 +13,7 @@ cargo build --release --offline
 echo "==> cargo test -q --offline"
 cargo test -q --offline
 
-echo "ok: workspace builds and tests with no network access"
+echo "==> cargo clippy --offline --all-targets -- -D warnings"
+cargo clippy --offline --all-targets -- -D warnings
+
+echo "ok: workspace builds, tests and lints clean with no network access"
