@@ -45,4 +45,7 @@ mod hints;
 mod worklist;
 
 pub use hints::{Hints, WriteHint};
-pub use worklist::{approximate_interpret, ApproxOptions, ApproxResult, ApproxStats, SeedMode};
+pub use worklist::{
+    approximate_interpret, approximate_interpret_parsed, ApproxOptions, ApproxResult, ApproxStats,
+    SeedMode,
+};

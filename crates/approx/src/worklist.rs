@@ -207,6 +207,10 @@ fn hint_counts(state: &Rc<RefCell<ApproxState>>) -> (usize, usize, usize) {
 
 /// Runs approximate interpretation on a project.
 ///
+/// Parses the project first; callers that already hold a
+/// [`aji_parser::ParsedProject`] should use
+/// [`approximate_interpret_parsed`] to avoid the re-parse.
+///
 /// # Errors
 ///
 /// Returns a parse error if any project file fails to parse. Runtime
@@ -217,14 +221,27 @@ pub fn approximate_interpret(
     project: &Project,
     opts: &ApproxOptions,
 ) -> Result<ApproxResult, aji_parser::ParseError> {
+    let parsed = aji_parser::parse_project(project)?;
+    Ok(approximate_interpret_parsed(project, &parsed, opts))
+}
+
+/// [`approximate_interpret`] over an already-parsed project.
+///
+/// Infallible: parsing is the pre-analysis' only failure mode, and the
+/// caller has already parsed. `parsed` must be the parse of `project`.
+pub fn approximate_interpret_parsed(
+    project: &Project,
+    parsed: &aji_parser::ParsedProject,
+    opts: &ApproxOptions,
+) -> ApproxResult {
     let _span = aji_obs::span("worklist");
     let obs = WorklistObs::bind();
     let state = Rc::new(RefCell::new(ApproxState::default()));
     let mut interp_opts = opts.interp.clone();
     interp_opts.approx = true;
-    let mut interp = Interp::with_options(project, interp_opts, Box::new(state.clone()))?;
+    let mut interp = Interp::with_parsed(project, parsed, interp_opts, Box::new(state.clone()));
 
-    let functions_total = count_project_functions(project)?;
+    let functions_total = count_parsed_functions(parsed);
 
     // Seed the worklist with modules. The test driver is deliberately
     // excluded: unlike the dynamic call graphs used as ground truth, the
@@ -323,11 +340,11 @@ pub fn approximate_interpret(
         .filter(|_| true)
         .count()
         .min(functions_total.max(st.visited.len()));
-    Ok(ApproxResult {
+    ApproxResult {
         hints: st.hints,
         visited: st.visited,
         stats,
-    })
+    }
 }
 
 /// Executes one discovered function value: `f.apply(w, p*)` where `w` is
@@ -354,16 +371,15 @@ fn run_function_item(
     interp.call_function(value, this, &args).map(|_| ())
 }
 
-/// Counts function definitions across the project's files (for the
-/// coverage statistic).
-fn count_project_functions(project: &Project) -> Result<usize, aji_parser::ParseError> {
+/// Counts function definitions across a parsed project's modules (for
+/// the coverage statistic).
+fn count_parsed_functions(parsed: &aji_parser::ParsedProject) -> usize {
     use aji_ast::visit::{FunctionCollector, Visit};
-    let parsed = aji_parser::parse_project(project)?;
     let mut c = FunctionCollector::default();
     for m in &parsed.modules {
         c.visit_module(m);
     }
-    Ok(c.functions.len())
+    c.functions.len()
 }
 
 #[cfg(test)]

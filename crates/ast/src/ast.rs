@@ -28,7 +28,11 @@ impl fmt::Display for NodeId {
 
 /// Generator of fresh [`NodeId`]s, shared across the files of one project so
 /// that node ids are project-unique.
-#[derive(Debug, Default)]
+///
+/// Cloning forks the counter: ids minted by the clone are unique against
+/// everything minted *before* the fork, which is what consumers that take
+/// a snapshot of a parsed project (e.g. the interpreter, for `eval`) need.
+#[derive(Debug, Clone, Default)]
 pub struct NodeIdGen {
     next: u32,
 }

@@ -13,7 +13,7 @@
 //! * [`Project`] — an in-memory Node.js-style project (virtual file tree
 //!   with `node_modules`, a main module and an optional test driver).
 //! * [`visit`] — read-only AST visitors.
-//! * [`print`] — an AST-to-source printer used for testing and diagnostics.
+//! * [`mod@print`] — an AST-to-source printer used for testing and diagnostics.
 //!
 //! # Example
 //!

@@ -6,13 +6,24 @@
 //!   precision it loses;
 //! * the §6 proxy-read extension.
 //!
+//! Each project is parsed **once** and approximately interpreted **once**;
+//! all six analysis modes share that parse and hint set (they differ only
+//! in [`AnalysisOptions`]), so the study costs one pre-analysis per
+//! project instead of six.
+//!
 //! Run with `cargo run --release -p aji-bench --bin ablations`.
+//! Accepts the shared corpus flags (`--threads N`, `AJI_THREADS`); see
+//! BENCHMARKS.md.
 
-use aji_approx::{approximate_interpret, ApproxOptions};
-use aji_pta::{analyze, AnalysisOptions, CgMetrics};
+use aji_approx::{approximate_interpret_parsed, ApproxOptions};
+use aji_bench::{collect_reports, exit_code, run_corpus_map, CorpusCli};
+use aji_pta::{analyze_parsed, AnalysisOptions, CgMetrics};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    let cli = CorpusCli::from_env("ablations", false);
     let projects = aji_corpus::table1_benchmarks();
+    let n = projects.len();
 
     let modes: Vec<(&str, AnalysisOptions)> = vec![
         ("baseline", AnalysisOptions::baseline()),
@@ -37,33 +48,34 @@ fn main() {
         ("with-proxy-reads", AnalysisOptions::with_proxy_reads()),
     ];
 
-    println!("== Ablations over {} benchmarks ==", projects.len());
+    // Per project: one parse, one approximate interpretation, six analyses.
+    let results = run_corpus_map(projects, cli.threads, |p| {
+        let parsed = aji_parser::parse_project(p).map_err(|e| format!("parse error: {e}"))?;
+        let approx = approximate_interpret_parsed(p, &parsed, &ApproxOptions::default());
+        Ok::<_, String>(
+            modes
+                .iter()
+                .map(|(_, opts)| {
+                    CgMetrics::of(&analyze_parsed(p, &parsed, Some(&approx.hints), opts).call_graph)
+                })
+                .collect::<Vec<_>>(),
+        )
+    });
+    let (per_project, failures) = collect_reports(results);
+
+    println!("== Ablations over {n} benchmarks ==");
     println!(
         "{:<18} {:>10} {:>10} {:>10} {:>10} {:>12}",
         "mode", "edges", "reach", "resolved%", "mono%", "targets/site"
     );
-    for (name, opts) in &modes {
+    for (i, (name, _)) in modes.iter().enumerate() {
         let mut edges = 0usize;
         let mut reach = 0usize;
         let mut resolved = 0usize;
         let mut mono = 0usize;
         let mut sites = 0usize;
-        for p in &projects {
-            let hints = match approximate_interpret(p, &ApproxOptions::default()) {
-                Ok(r) => r.hints,
-                Err(e) => {
-                    eprintln!("{}: {e}", p.name);
-                    continue;
-                }
-            };
-            let a = match analyze(p, Some(&hints), opts) {
-                Ok(a) => a,
-                Err(e) => {
-                    eprintln!("{}: {e}", p.name);
-                    continue;
-                }
-            };
-            let m = CgMetrics::of(&a.call_graph);
+        for metrics in &per_project {
+            let m = &metrics[i];
             edges += m.call_edges;
             reach += m.reachable_functions;
             resolved += m.resolved_sites;
@@ -89,4 +101,5 @@ fn main() {
     println!("  note: the non-relational mode only covers syntactic `o[k] = v` sites, not the");
     println!("        defineProperty/assign natives, so its absolute edge count is lower here");
     println!("  with-proxy-reads == extended on this corpus (no proxy-base reads with known keys)");
+    exit_code(failures)
 }

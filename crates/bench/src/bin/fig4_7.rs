@@ -5,9 +5,12 @@
 //! statistics reported in §5.
 //!
 //! Run with `cargo run --release -p aji-bench --bin fig4_7`.
+//! Accepts the shared corpus flags (`--threads N`, `AJI_THREADS`,
+//! `--json` for the deterministic corpus report); see BENCHMARKS.md.
 
-use aji::{run_benchmark, BenchmarkReport, PipelineOptions};
-use aji_ast::Project;
+use aji::{BenchmarkReport, PipelineOptions};
+use aji_bench::{collect_reports, corpus_metrics_json, exit_code, run_corpus, CorpusCli};
+use std::process::ExitCode;
 
 struct Row {
     name: String,
@@ -41,10 +44,19 @@ fn row_of(r: &BenchmarkReport) -> Row {
     }
 }
 
-fn main() {
+fn main() -> ExitCode {
+    let cli = CorpusCli::from_env("fig4_7", true);
     let projects = aji_corpus::full_population();
     let n = projects.len();
-    let rows = run_all(projects);
+    let results = run_corpus(projects, &PipelineOptions::default(), cli.threads);
+
+    if cli.json {
+        let failures = results.iter().filter(|r| r.outcome.is_err()).count();
+        println!("{}", corpus_metrics_json(&results));
+        return exit_code(failures);
+    }
+    let (reports, failures) = collect_reports(results);
+    let rows: Vec<Row> = reports.iter().map(row_of).collect();
 
     println!("== Figures 4-7: per-benchmark metrics ({n} programs) ==");
     println!(
@@ -132,6 +144,7 @@ fn main() {
         avg(&approx_times),
         approx_times.iter().cloned().fold(0.0, f64::max)
     );
+    exit_code(failures)
 }
 
 fn avg(xs: &[f64]) -> f64 {
@@ -140,21 +153,4 @@ fn avg(xs: &[f64]) -> f64 {
     } else {
         xs.iter().sum::<f64>() / xs.len() as f64
     }
-}
-
-/// Runs the pipeline over all projects on a small thread pool.
-fn run_all(projects: Vec<Project>) -> Vec<Row> {
-    aji_support::par::map(projects, 0, |project| {
-        let opts = PipelineOptions::default();
-        match run_benchmark(&project, &opts) {
-            Ok(report) => Some(row_of(&report)),
-            Err(e) => {
-                eprintln!("benchmark {} failed: {e}", project.name);
-                None
-            }
-        }
-    })
-    .into_iter()
-    .flatten()
-    .collect()
 }

@@ -2,43 +2,56 @@
 //! (packages, modules, functions, code size).
 //!
 //! Run with `cargo run --release -p aji-bench --bin table1`.
+//! Accepts the shared corpus flags (`--threads N`, `AJI_THREADS`); see
+//! BENCHMARKS.md.
 
 use aji_ast::visit::{FunctionCollector, Visit};
+use aji_bench::{collect_reports, exit_code, run_corpus_map, CorpusCli};
+use std::process::ExitCode;
 
-fn main() {
+struct Row {
+    name: String,
+    packages: usize,
+    modules: usize,
+    functions: usize,
+    size_kb: f64,
+}
+
+fn main() -> ExitCode {
+    let cli = CorpusCli::from_env("table1", false);
     let projects = aji_corpus::table1_benchmarks();
+    let n = projects.len();
+    // Table 1 only needs the parse, not the pipeline.
+    let results = run_corpus_map(projects, cli.threads, |p| {
+        let parsed = aji_parser::parse_project(p).map_err(|e| format!("parse error: {e}"))?;
+        let mut c = FunctionCollector::default();
+        for m in &parsed.modules {
+            c.visit_module(m);
+        }
+        Ok::<_, String>(Row {
+            name: p.name.clone(),
+            packages: p.package_count(),
+            modules: p.module_count(),
+            functions: c.functions.len(),
+            size_kb: p.code_size_bytes() as f64 / 1024.0,
+        })
+    });
+    let (rows, failures) = collect_reports(results);
+
     println!("== Table 1: Node.js benchmarks with dynamic call graphs ==");
     println!(
         "{:<22} {:>9} {:>8} {:>10} {:>10}",
         "benchmark", "packages", "modules", "functions", "size (kB)"
     );
     let mut total_funcs = 0usize;
-    for p in &projects {
-        let parsed = match aji_parser::parse_project(p) {
-            Ok(x) => x,
-            Err(e) => {
-                eprintln!("{}: parse error: {e}", p.name);
-                continue;
-            }
-        };
-        let mut c = FunctionCollector::default();
-        for m in &parsed.modules {
-            c.visit_module(m);
-        }
-        total_funcs += c.functions.len();
+    for r in &rows {
+        total_funcs += r.functions;
         println!(
             "{:<22} {:>9} {:>8} {:>10} {:>10.1}",
-            p.name,
-            p.package_count(),
-            p.module_count(),
-            c.functions.len(),
-            p.code_size_bytes() as f64 / 1024.0
+            r.name, r.packages, r.modules, r.functions, r.size_kb
         );
     }
     println!();
-    println!(
-        "{} benchmarks, {} function definitions in total",
-        projects.len(),
-        total_funcs
-    );
+    println!("{n} benchmarks, {total_funcs} function definitions in total");
+    exit_code(failures)
 }

@@ -3,11 +3,25 @@
 //! each benchmark's test driver.
 //!
 //! Run with `cargo run --release -p aji-bench --bin table2`.
+//! Accepts the shared corpus flags (`--threads N`, `AJI_THREADS`,
+//! `--json` for the deterministic corpus report); see BENCHMARKS.md.
 
-use aji::{run_benchmark, PipelineOptions};
+use aji::PipelineOptions;
+use aji_bench::{collect_reports, corpus_metrics_json, exit_code, run_corpus, CorpusCli};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    let cli = CorpusCli::from_env("table2", true);
     let projects = aji_corpus::table1_benchmarks();
+    let results = run_corpus(projects, &PipelineOptions::with_dynamic_cg(), cli.threads);
+
+    if cli.json {
+        let failures = results.iter().filter(|r| r.outcome.is_err()).count();
+        println!("{}", corpus_metrics_json(&results));
+        return exit_code(failures);
+    }
+    let (reports, failures) = collect_reports(results);
+
     println!("== Table 2: recall and precision vs dynamic call graphs ==");
     println!(
         "{:<22} {:>8} {:>9} {:>9} {:>9} {:>9}",
@@ -17,21 +31,14 @@ fn main() {
     let mut recalls_x = Vec::new();
     let mut precs_b = Vec::new();
     let mut precs_x = Vec::new();
-    for p in &projects {
-        let report = match run_benchmark(p, &PipelineOptions::with_dynamic_cg()) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("{}: {e}", p.name);
-                continue;
-            }
-        };
-        let Some(acc) = report.accuracy else {
-            eprintln!("{}: no dynamic call graph", p.name);
+    for report in &reports {
+        let Some(acc) = &report.accuracy else {
+            eprintln!("{}: no dynamic call graph", report.name);
             continue;
         };
         println!(
             "{:<22} {:>8} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
-            p.name,
+            report.name,
             acc.dynamic_edges,
             acc.baseline.recall_pct(),
             acc.extended.recall_pct(),
@@ -57,6 +64,7 @@ fn main() {
         avg(&precs_b),
         avg(&precs_x)
     );
+    exit_code(failures)
 }
 
 fn avg(xs: &[f64]) -> f64 {

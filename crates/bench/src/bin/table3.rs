@@ -2,11 +2,29 @@
 //! interpretation, and the extended static analysis, per benchmark.
 //!
 //! Run with `cargo run --release -p aji-bench --bin table3`.
+//! Accepts the shared corpus flags (`--threads N`, `AJI_THREADS`,
+//! `--json` for the deterministic corpus report); see BENCHMARKS.md.
+//! Note the wall-clock columns here are per-phase and remain meaningful
+//! under `--threads N > 1` (each project's phases run on one worker), but
+//! they are not byte-reproducible; `--json` reports only the
+//! deterministic metrics.
 
-use aji::{run_benchmark, PipelineOptions};
+use aji::PipelineOptions;
+use aji_bench::{collect_reports, corpus_metrics_json, exit_code, run_corpus, CorpusCli};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    let cli = CorpusCli::from_env("table3", true);
     let projects = aji_corpus::table1_benchmarks();
+    let results = run_corpus(projects, &PipelineOptions::default(), cli.threads);
+
+    if cli.json {
+        let failures = results.iter().filter(|r| r.outcome.is_err()).count();
+        println!("{}", corpus_metrics_json(&results));
+        return exit_code(failures);
+    }
+    let (reports, failures) = collect_reports(results);
+
     println!("== Table 3: running times (seconds) ==");
     println!(
         "{:<22} {:>12} {:>12} {:>12}",
@@ -15,17 +33,10 @@ fn main() {
     let mut tb = Vec::new();
     let mut ta = Vec::new();
     let mut tx = Vec::new();
-    for p in &projects {
-        let report = match run_benchmark(p, &PipelineOptions::default()) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("{}: {e}", p.name);
-                continue;
-            }
-        };
+    for report in &reports {
         println!(
             "{:<22} {:>12.4} {:>12.4} {:>12.4}",
-            p.name, report.baseline_seconds, report.approx_seconds, report.extended_seconds
+            report.name, report.baseline_seconds, report.approx_seconds, report.extended_seconds
         );
         tb.push(report.baseline_seconds);
         ta.push(report.approx_seconds);
@@ -43,6 +54,7 @@ fn main() {
         "extended/baseline time ratio avg: {:.2}x (paper: <1.1x for 76/141, >2x for 20/141)",
         avg_ratio(&tb, &tx)
     );
+    exit_code(failures)
 }
 
 fn avg_ratio(base: &[f64], ext: &[f64]) -> f64 {

@@ -3,11 +3,25 @@
 //! baseline vs extended call graphs, plus total reachable functions.
 //!
 //! Run with `cargo run --release -p aji-bench --bin vulns`.
+//! Accepts the shared corpus flags (`--threads N`, `AJI_THREADS`,
+//! `--json` for the deterministic corpus report); see BENCHMARKS.md.
 
-use aji::{run_benchmark, PipelineOptions};
+use aji::PipelineOptions;
+use aji_bench::{collect_reports, corpus_metrics_json, exit_code, run_corpus, CorpusCli};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    let cli = CorpusCli::from_env("vulns", true);
     let projects = aji_corpus::table1_benchmarks();
+    let results = run_corpus(projects, &PipelineOptions::default(), cli.threads);
+
+    if cli.json {
+        let failures = results.iter().filter(|r| r.outcome.is_err()).count();
+        println!("{}", corpus_metrics_json(&results));
+        return exit_code(failures);
+    }
+    let (reports, failures) = collect_reports(results);
+
     println!("== Vulnerability reachability (cf. paper §5) ==");
     println!(
         "{:<22} {:>6} {:>10} {:>10}",
@@ -18,20 +32,13 @@ fn main() {
     let mut reach_x = 0usize;
     let mut funcs_b = 0usize;
     let mut funcs_x = 0usize;
-    for p in &projects {
-        let report = match run_benchmark(p, &PipelineOptions::default()) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("{}: {e}", p.name);
-                continue;
-            }
-        };
+    for report in &reports {
         funcs_b += report.baseline.reachable_functions;
         funcs_x += report.extended.reachable_functions;
         if let Some(v) = &report.vulns {
             println!(
                 "{:<22} {:>6} {:>10} {:>10}",
-                p.name, v.total, v.reachable_baseline, v.reachable_extended
+                report.name, v.total, v.reachable_baseline, v.reachable_extended
             );
             total += v.total;
             reach_b += v.reachable_baseline;
@@ -46,4 +53,5 @@ fn main() {
     println!(
         "total reachable functions: {funcs_b} -> {funcs_x}   (paper: 42661 -> 53805)"
     );
+    exit_code(failures)
 }

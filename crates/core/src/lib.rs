@@ -36,11 +36,12 @@
 
 #![warn(missing_docs)]
 
-use aji_approx::{approximate_interpret, ApproxOptions, ApproxResult, Hints};
+use aji_approx::{approximate_interpret_parsed, ApproxOptions, ApproxResult, Hints};
 use aji_ast::{Loc, Project};
 use aji_interp::{DynCallGraph, Interp, InterpOptions};
 use aji_obs::ObsReport;
-use aji_pta::{analyze, Accuracy, Analysis, AnalysisOptions, CgMetrics};
+use aji_parser::ParsedProject;
+use aji_pta::{analyze_parsed, Accuracy, Analysis, AnalysisOptions, CgMetrics};
 use aji_support::{Json, ToJson};
 use std::cell::RefCell;
 use std::collections::BTreeSet;
@@ -144,6 +145,10 @@ pub struct BenchmarkReport {
     pub baseline: CgMetrics,
     /// Extended call-graph metrics.
     pub extended: CgMetrics,
+    /// Time to parse the project (seconds). The parse happens **once** and
+    /// is shared by every phase, so unlike the paper's per-tool timings the
+    /// phase columns below are parse-free.
+    pub parse_seconds: f64,
     /// Baseline static-analysis time (seconds) — Table 3 column 1.
     pub baseline_seconds: f64,
     /// Approximate-interpretation time (seconds) — Table 3 column 2.
@@ -189,6 +194,7 @@ impl BenchmarkReport {
             ("name", Json::Str(self.name.clone())),
             ("baseline", self.baseline.to_json()),
             ("extended", self.extended.to_json()),
+            ("parse_seconds", Json::Num(self.parse_seconds)),
             ("baseline_seconds", Json::Num(self.baseline_seconds)),
             ("approx_seconds", Json::Num(self.approx_seconds)),
             ("extended_seconds", Json::Num(self.extended_seconds)),
@@ -231,6 +237,48 @@ impl BenchmarkReport {
         }
         Json::obj(pairs)
     }
+
+    /// The *deterministic* subset of [`BenchmarkReport::to_json`]: every
+    /// analysis result — call-graph metrics, hint counts and the full hint
+    /// set, accuracy, vulnerability reachability — but **no wall-clock
+    /// timings and no observability data**.
+    ///
+    /// Two runs of the same project produce byte-identical
+    /// `metrics_json().to_string()` output regardless of machine load or
+    /// thread count; this is the representation corpus drivers and the
+    /// determinism tests compare. (The interpreter and solver are fully
+    /// deterministic; only timings vary between runs.)
+    pub fn metrics_json(&self) -> Json {
+        let mut pairs = vec![
+            ("name", Json::Str(self.name.clone())),
+            ("baseline", self.baseline.to_json()),
+            ("extended", self.extended.to_json()),
+            ("hint_count", self.hint_count.to_json()),
+            ("approx_coverage", Json::Num(self.approx_stats.coverage())),
+        ];
+        if let Some(acc) = &self.accuracy {
+            pairs.push((
+                "accuracy",
+                Json::obj(vec![
+                    ("baseline", acc.baseline.to_json()),
+                    ("extended", acc.extended.to_json()),
+                    ("dynamic_edges", acc.dynamic_edges.to_json()),
+                ]),
+            ));
+        }
+        if let Some(v) = &self.vulns {
+            pairs.push((
+                "vulns",
+                Json::obj(vec![
+                    ("total", v.total.to_json()),
+                    ("reachable_baseline", v.reachable_baseline.to_json()),
+                    ("reachable_extended", v.reachable_extended.to_json()),
+                ]),
+            ));
+        }
+        pairs.push(("hints", self.hints.to_json()));
+        Json::obj(pairs)
+    }
 }
 
 /// Runs the full experiment pipeline on one project.
@@ -264,36 +312,49 @@ pub fn run_benchmark(
 /// The pipeline proper. Phase timings come from the same [`aji_obs::span`]
 /// guards that feed the span tree — [`aji_obs::SpanGuard::finish`] returns
 /// the elapsed time whether or not collection is active.
+///
+/// The project is parsed exactly **once**; the baseline analysis, the
+/// approximate interpretation, the extended analysis, the dynamic run and
+/// the vulnerability study all share the same [`ParsedProject`] (modules
+/// are reference-counted, see [`aji_parser::ParsedProject`]).
 fn run_pipeline(
     project: &Project,
     opts: &PipelineOptions,
 ) -> Result<BenchmarkReport, PipelineError> {
     let total = aji_obs::span("pipeline");
 
+    // 0. Parse, once for every phase below.
+    let parse_start = std::time::Instant::now();
+    let parsed = aji_parser::parse_project(project)?;
+    let parse_seconds = parse_start.elapsed().as_secs_f64();
+
     // 1. Baseline.
     let phase = aji_obs::span("baseline-pta");
-    let baseline_analysis = analyze(project, None, &AnalysisOptions::baseline())?;
+    let baseline_analysis = analyze_parsed(project, &parsed, None, &AnalysisOptions::baseline());
     let baseline_seconds = phase.finish().as_secs_f64();
 
     // 2. Approximate interpretation.
     let phase = aji_obs::span("approx-interp");
-    let approx: ApproxResult = approximate_interpret(project, &opts.approx)?;
+    let approx: ApproxResult = approximate_interpret_parsed(project, &parsed, &opts.approx);
     let approx_seconds = phase.finish().as_secs_f64();
 
     // 3. Extended analysis.
     let phase = aji_obs::span("extended-pta");
-    let extended_analysis = analyze(project, Some(&approx.hints), &opts.analysis)?;
+    let extended_analysis =
+        analyze_parsed(project, &parsed, Some(&approx.hints), &opts.analysis);
     let extended_seconds = phase.finish().as_secs_f64();
 
     // 4. Dynamic call graph (optional).
     let mut dynamic_seconds = 0.0;
     let accuracy = if opts.dynamic_cg {
         let phase = aji_obs::span("dynamic-cg");
-        let acc = dynamic_call_graph(project, &opts.dynamic_interp).map(|dyn_edges| AccuracyPair {
-            baseline: Accuracy::compare(&baseline_analysis.call_graph, &dyn_edges),
-            extended: Accuracy::compare(&extended_analysis.call_graph, &dyn_edges),
-            dynamic_edges: dyn_edges.len(),
-        });
+        let acc = dynamic_call_graph_parsed(project, &parsed, &opts.dynamic_interp).map(
+            |dyn_edges| AccuracyPair {
+                baseline: Accuracy::compare(&baseline_analysis.call_graph, &dyn_edges),
+                extended: Accuracy::compare(&extended_analysis.call_graph, &dyn_edges),
+                dynamic_edges: dyn_edges.len(),
+            },
+        );
         dynamic_seconds = phase.finish().as_secs_f64();
         acc
     } else {
@@ -307,15 +368,17 @@ fn run_pipeline(
         let _s = aji_obs::span("vuln-study");
         Some(vuln_reachability(
             project,
+            &parsed,
             &baseline_analysis,
             &extended_analysis,
-        )?)
+        ))
     };
 
     Ok(BenchmarkReport {
         name: project.name.clone(),
         baseline: CgMetrics::of(&baseline_analysis.call_graph),
         extended: CgMetrics::of(&extended_analysis.call_graph),
+        parse_seconds,
         baseline_seconds,
         approx_seconds,
         extended_seconds,
@@ -336,14 +399,25 @@ fn run_pipeline(
 
 /// Produces the dynamic call graph of a project by concretely executing
 /// its test driver (or, failing that, its main module). Returns `None`
-/// only when the interpreter cannot even be constructed.
+/// only when the interpreter cannot even be constructed (i.e. the project
+/// does not parse).
 pub fn dynamic_call_graph(
     project: &Project,
     interp_opts: &InterpOptions,
 ) -> Option<BTreeSet<(Loc, Loc)>> {
+    let parsed = aji_parser::parse_project(project).ok()?;
+    dynamic_call_graph_parsed(project, &parsed, interp_opts)
+}
+
+/// [`dynamic_call_graph`] over an already-parsed project.
+pub fn dynamic_call_graph_parsed(
+    project: &Project,
+    parsed: &ParsedProject,
+    interp_opts: &InterpOptions,
+) -> Option<BTreeSet<(Loc, Loc)>> {
     let recorder = Rc::new(RefCell::new(DynCallGraph::new()));
     let mut interp =
-        Interp::with_options(project, interp_opts.clone(), Box::new(recorder.clone())).ok()?;
+        Interp::with_parsed(project, parsed, interp_opts.clone(), Box::new(recorder.clone()));
     let driver = project
         .test_driver
         .clone()
@@ -364,10 +438,11 @@ pub fn dynamic_call_graph(
 /// are reachable in each call graph.
 fn vuln_reachability(
     project: &Project,
+    parsed: &ParsedProject,
     baseline: &Analysis,
     extended: &Analysis,
-) -> Result<VulnReport, PipelineError> {
-    let locs = vuln_function_locs(project)?;
+) -> VulnReport {
+    let locs = vuln_function_locs_parsed(project, parsed);
     let mut report = VulnReport {
         total: project.vulns.len(),
         ..VulnReport::default()
@@ -380,14 +455,24 @@ fn vuln_reachability(
             report.reachable_extended += 1;
         }
     }
-    Ok(report)
+    report
 }
 
 /// Resolves each vulnerability annotation to the location of the named
 /// function in the named file (`None` when not found).
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Parse`] if the project does not parse; use
+/// [`vuln_function_locs_parsed`] to reuse an existing parse.
 pub fn vuln_function_locs(project: &Project) -> Result<Vec<Option<Loc>>, PipelineError> {
-    use aji_ast::visit::{FunctionCollector, Visit};
     let parsed = aji_parser::parse_project(project)?;
+    Ok(vuln_function_locs_parsed(project, &parsed))
+}
+
+/// [`vuln_function_locs`] over an already-parsed project.
+pub fn vuln_function_locs_parsed(project: &Project, parsed: &ParsedProject) -> Vec<Option<Loc>> {
+    use aji_ast::visit::{FunctionCollector, Visit};
     let mut out = Vec::with_capacity(project.vulns.len());
     for v in &project.vulns {
         let Some(file_idx) = project.files.iter().position(|f| f.path == v.path) else {
@@ -403,7 +488,7 @@ pub fn vuln_function_locs(project: &Project) -> Result<Vec<Option<Loc>>, Pipelin
             .map(|(_, span, _)| parsed.source_map.loc(*span));
         out.push(loc);
     }
-    Ok(out)
+    out
 }
 
 #[cfg(test)]

@@ -147,6 +147,24 @@ impl Interp {
         tracer: Box<dyn Tracer>,
     ) -> Result<Interp, aji_parser::ParseError> {
         let parsed = aji_parser::parse_project(project)?;
+        Ok(Interp::with_parsed(project, &parsed, opts, tracer))
+    }
+
+    /// Builds an interpreter over an already-parsed project, sharing the
+    /// parse with other pipeline phases (the modules are reference-counted;
+    /// only the source map and id generator are cloned, so the interpreter
+    /// can extend them with prelude/`eval` files without touching the
+    /// caller's copy).
+    ///
+    /// `parsed` must be the parse of `project` (paths and the test driver
+    /// come from `project`).
+    pub fn with_parsed(
+        project: &Project,
+        parsed: &aji_parser::ParsedProject,
+        opts: InterpOptions,
+        tracer: Box<dyn Tracer>,
+    ) -> Interp {
+        let parsed = parsed.clone();
         let mut registry = FuncRegistry::new();
         for m in &parsed.modules {
             registry.add_module(m, &parsed.source_map);
@@ -169,7 +187,7 @@ impl Interp {
             source_map: parsed.source_map,
             console: Vec::new(),
             obs: InterpObs::bind(),
-            modules: parsed.modules.into_iter().map(Rc::new).collect(),
+            modules: parsed.modules,
             paths: project.files.iter().map(|f| f.path.clone()).collect(),
             project_file_count,
             global_scope,
@@ -199,7 +217,7 @@ impl Interp {
             pending_label: None,
         };
         builtins::install(&mut interp);
-        Ok(interp)
+        interp
     }
 
     /// The singleton unknown-value proxy `p*`.

@@ -4,7 +4,7 @@
 //! — hint counts, call-graph deltas, and analysis time budgets — so every
 //! layer of this reproduction reports where its time and work go through
 //! this crate: hierarchical [spans](span) with wall-clock timing, named
-//! [counters](counter), and bucketed [histograms](histogram), collected
+//! [counters](counter), and bucketed [histograms](histogram_record), collected
 //! into a thread-safe [`Registry`] and snapshotted as a serializable
 //! [`ObsReport`].
 //!
@@ -48,8 +48,8 @@
 //! # Reporting
 //!
 //! [`Registry::report`] snapshots everything into an [`ObsReport`], which
-//! round-trips through `aji-support` JSON ([`ObsReport::to_json`] /
-//! [`ObsReport::from_json`]) and renders as an indented span tree with
+//! round-trips through `aji-support` JSON ([`ObsReport::to_json_string`] /
+//! [`ObsReport::from_json_str`]) and renders as an indented span tree with
 //! per-phase percentages and top-N counters via [`render_text`] — the
 //! format the `aji-report` binary prints.
 

@@ -35,15 +35,22 @@ pub use lexer::lex;
 pub use parser::{parse_expr, parse_module};
 
 use aji_ast::{FileId, Module, NodeIdGen, Project, SourceMap};
+use std::rc::Rc;
 
 /// A fully parsed project: its source map and one [`Module`] per file, in
 /// the same order as [`SourceMap`]'s files.
-#[derive(Debug)]
+///
+/// Modules are reference-counted so one parse can feed every pipeline
+/// phase — the static analyses borrow them, the interpreter clones the
+/// (cheap) `Rc` handles — instead of each phase re-parsing the project.
+/// Cloning a `ParsedProject` clones the source map and bumps the module
+/// refcounts; it never re-parses.
+#[derive(Debug, Clone)]
 pub struct ParsedProject {
     /// Source map over the project's files.
     pub source_map: SourceMap,
     /// Parsed modules; `modules[i]` corresponds to `FileId(i)`.
-    pub modules: Vec<Module>,
+    pub modules: Vec<Rc<Module>>,
     /// The id generator used, so later passes can mint more ids.
     pub ids: NodeIdGen,
 }
@@ -74,7 +81,7 @@ pub fn parse_project(project: &Project) -> Result<ParsedProject, ParseError> {
         let module = parse_module(&sf.src, file, &mut ids)
             .map_err(|e| e.with_path(sf.path.clone()))?;
         bytes += sf.src.len() as u64;
-        modules.push(module);
+        modules.push(Rc::new(module));
     }
     aji_obs::counter_add("parser.files", source_map.len() as u64);
     aji_obs::counter_add("parser.bytes", bytes);

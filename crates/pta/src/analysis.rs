@@ -99,6 +99,10 @@ pub struct Analysis {
 /// baseline analysis of Figure 3's first five rules; with hints it
 /// additionally applies \[DPR\] and \[DPW\].
 ///
+/// Parses the project first; callers that already hold a
+/// [`aji_parser::ParsedProject`] — e.g. to run several hint
+/// configurations over one parse — should use [`analyze_parsed`].
+///
 /// # Errors
 ///
 /// Returns a parse error if any project file fails to parse.
@@ -108,6 +112,21 @@ pub fn analyze(
     opts: &AnalysisOptions,
 ) -> Result<Analysis, aji_parser::ParseError> {
     let parsed = aji_parser::parse_project(project)?;
+    Ok(analyze_parsed(project, &parsed, hints, opts))
+}
+
+/// [`analyze`] over an already-parsed project.
+///
+/// Infallible: parse errors are the only failure mode of the analysis,
+/// and the caller has already parsed. `parsed` must be the parse of
+/// `project` (the project supplies vulnerability annotations and file
+/// paths; the AST and source map come from `parsed`).
+pub fn analyze_parsed(
+    project: &Project,
+    parsed: &aji_parser::ParsedProject,
+    hints: Option<&Hints>,
+    opts: &AnalysisOptions,
+) -> Analysis {
     let start = Instant::now();
     let res = {
         let _s = aji_obs::span("resolve-scopes");
@@ -240,10 +259,10 @@ pub fn analyze(
     aji_obs::counter_add("pta.tokens", solver.stats.tokens as u64);
     aji_obs::counter_add("pta.call_edges", call_graph.edge_count() as u64);
     aji_obs::counter_add("pta.hints_applied", hints_applied as u64);
-    Ok(Analysis {
+    Analysis {
         call_graph,
         solver_stats: solver.stats.clone(),
         analysis_seconds,
         hints_applied,
-    })
+    }
 }

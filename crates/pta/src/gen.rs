@@ -73,7 +73,7 @@ pub struct GenOutput {
 
 /// Generates constraints for a parsed project.
 pub fn generate(
-    modules: &[Module],
+    modules: &[std::rc::Rc<Module>],
     source_map: &SourceMap,
     res: &Resolution,
     paths: Vec<String>,

@@ -93,7 +93,7 @@ pub const MODULE_MAGIC: [&str; 5] = ["module", "exports", "require", "__filename
 
 /// Resolves all modules of a project. `modules[i]` must correspond to
 /// `FileId(i)`.
-pub fn resolve(modules: &[Module]) -> Resolution {
+pub fn resolve(modules: &[std::rc::Rc<Module>]) -> Resolution {
     let mut res = Resolution::default();
     for (i, m) in modules.iter().enumerate() {
         let file = FileId(i as u32);
@@ -621,7 +621,7 @@ mod tests {
     use super::*;
     use aji_ast::{NodeIdGen, Project};
 
-    fn resolve_src(src: &str) -> (Vec<Module>, Resolution) {
+    fn resolve_src(src: &str) -> (Vec<std::rc::Rc<Module>>, Resolution) {
         let mut p = Project::new("t");
         p.add_file("index.js", src);
         let parsed = aji_parser::parse_project(&p).unwrap();

@@ -3,13 +3,31 @@
 //! This replaces the `serde` derives the workspace originally used for
 //! persisting hint sets and analysis reports. Types opt in by implementing
 //! [`ToJson`] / [`FromJson`]; the value model round-trips through
-//! [`Json::to_string`] / [`Json::parse`].
+//! `Json::to_string` (via [`fmt::Display`]) / [`Json::parse`].
 //!
 //! Scope: everything the analyses persist — objects, arrays, finite
 //! numbers, escaped strings (including `\uXXXX` and surrogate pairs),
 //! booleans and null. Not supported (by design): `NaN`/`Infinity`
 //! (rejected on output), duplicate-key semantics beyond last-wins, and
 //! comments.
+//!
+//! Output is **deterministic**: objects print their pairs in insertion
+//! order, with no whitespace, so equal values always serialize to equal
+//! bytes — the property the corpus determinism tests compare on.
+//!
+//! # Example
+//!
+//! ```
+//! use aji_support::Json;
+//!
+//! let doc = Json::obj(vec![
+//!     ("name", Json::Str("webframe-app".into())),
+//!     ("edges", Json::Num(31.0)),
+//! ]);
+//! let text = doc.to_string();
+//! assert_eq!(text, r#"{"name":"webframe-app","edges":31}"#);
+//! assert_eq!(Json::parse(&text).unwrap(), doc);
+//! ```
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;

@@ -12,7 +12,7 @@
 //! - [`check`] — a minithesis-style property-testing harness with
 //!   choice-sequence shrinking and failure-seed replay (replaces
 //!   `proptest`);
-//! - [`bench`] — a warmup + timed-iterations micro-benchmark harness with
+//! - [`mod@bench`] — a warmup + timed-iterations micro-benchmark harness with
 //!   median/p95 reporting and JSON output (replaces `criterion`);
 //! - [`par`] — a `std::thread::scope`-based fan-out helper (replaces
 //!   `crossbeam`).
@@ -20,6 +20,19 @@
 //! Policy: shims for missing third-party functionality live in this crate
 //! and nowhere else. `tests/hermetic.rs` at the workspace root fails the
 //! build if any manifest reintroduces a registry dependency.
+//!
+//! # Example
+//!
+//! The two shims the experiment driver leans on — fan a computation over a
+//! work list on scoped threads, then persist results as deterministic JSON:
+//!
+//! ```
+//! use aji_support::{par, Json};
+//!
+//! let squares = par::map(vec![1u64, 2, 3], 2, |x| x * x);
+//! let doc = Json::Arr(squares.into_iter().map(|n| Json::Num(n as f64)).collect());
+//! assert_eq!(doc.to_string(), "[1,4,9]");
+//! ```
 
 #![warn(missing_docs)]
 

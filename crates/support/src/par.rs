@@ -7,12 +7,44 @@
 
 use std::sync::Mutex;
 
+/// Resolves a worker-thread count from the `AJI_THREADS` environment
+/// variable.
+///
+/// Unset, empty or non-numeric values resolve to `0`, which [`map`] treats
+/// as "use available parallelism" (capped at 8). The experiment binaries
+/// feed this into their `--threads` default, so
+/// `AJI_THREADS=4 cargo run --release -p aji-bench --bin fig4_7` pins the
+/// pool without touching the command line.
+///
+/// ```
+/// // With AJI_THREADS unset the default is 0 = auto.
+/// std::env::remove_var("AJI_THREADS");
+/// assert_eq!(aji_support::par::threads_from_env(), 0);
+/// ```
+pub fn threads_from_env() -> usize {
+    std::env::var("AJI_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
+}
+
 /// Applies `f` to every item on up to `max_threads` scoped worker threads,
 /// returning results in input order.
 ///
 /// `max_threads == 0` means "use available parallelism" (capped at 8, like
 /// the experiment binaries always did). Panics in `f` propagate once all
 /// workers have stopped.
+///
+/// Results come back in **input order** regardless of which worker finished
+/// first — this is what makes `aji-bench`'s parallel corpus runs
+/// byte-identical to serial ones. Because the threads are scoped, `f` may
+/// borrow from the caller's stack:
+///
+/// ```
+/// let base = 10u64;
+/// let out = aji_support::par::map(vec![1u64, 2, 3], 2, |x| base + x);
+/// assert_eq!(out, vec![11, 12, 13]);
+/// ```
 pub fn map<T, R, F>(items: Vec<T>, max_threads: usize, f: F) -> Vec<R>
 where
     T: Send,

@@ -16,4 +16,10 @@ cargo test -q --offline
 echo "==> cargo clippy --offline --all-targets -- -D warnings"
 cargo clippy --offline --all-targets -- -D warnings
 
-echo "ok: workspace builds, tests and lints clean with no network access"
+echo "==> RUSTDOCFLAGS='-D warnings' cargo doc --workspace --no-deps --offline"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+
+echo "==> cargo test -q --offline --test corpus_determinism"
+cargo test -q --offline --test corpus_determinism
+
+echo "ok: workspace builds, tests, lints and docs clean with no network access"
