@@ -22,6 +22,8 @@ fn size_class(libs: usize, mods: usize, seed: u64) -> GenConfig {
         driver_coverage: 0.5,
         vulns: 0,
         hard_dispatch_fraction: 0.0,
+        computed_writes: 0,
+        accessor_methods: 0,
     }
 }
 

@@ -25,6 +25,8 @@ fn main() {
         driver_coverage: 0.6,
         vulns: 0,
         hard_dispatch_fraction: 0.0,
+        computed_writes: 0,
+        accessor_methods: 0,
     });
 
     let mut suite = Suite::new("table3-stages").iters(20);

@@ -22,6 +22,8 @@ fn bench_parser(suite: &mut Suite) {
         driver_coverage: 0.5,
         vulns: 0,
         hard_dispatch_fraction: 0.0,
+        computed_writes: 0,
+        accessor_methods: 0,
     });
     let total: usize = project.files.iter().map(|f| f.src.len()).sum();
     let r = suite.bench(format!("parse-project/{total}B"), || {
@@ -61,6 +63,8 @@ fn bench_budget_ablation(suite: &mut Suite) {
         driver_coverage: 0.5,
         vulns: 0,
         hard_dispatch_fraction: 0.0,
+        computed_writes: 0,
+        accessor_methods: 0,
     });
     for loop_limit in [100u64, 1_000, 10_000] {
         let opts = ApproxOptions {

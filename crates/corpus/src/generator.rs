@@ -41,6 +41,18 @@ pub struct GenConfig {
     /// during forced execution — and keep recall below 100%, like the
     /// hard cases in the paper's Table 2.
     pub hard_dispatch_fraction: f64,
+    /// Extra methods per library installed through *computed-key* dynamic
+    /// writes inside a counting loop (`api['cw' + i] = fn`). The key is a
+    /// string-concatenation expression — opaque to the static subset
+    /// analysis, concrete under forced execution — so these calls are
+    /// recoverable only through the `H_W` write hints (\[DPW\]).
+    pub computed_writes: usize,
+    /// Extra methods per library installed through `Object.defineProperty`
+    /// descriptors: one callable *data* descriptor per slot, plus a getter
+    /// *accessor* descriptor over the library's state object. Descriptor
+    /// installs record dynamic writes during forced execution, exercising
+    /// the `H_W` hint path through the property-definition builtin.
+    pub accessor_methods: usize,
 }
 
 impl GenConfig {
@@ -59,7 +71,44 @@ impl GenConfig {
             driver_coverage: 0.6,
             vulns: 1,
             hard_dispatch_fraction: 0.0,
+            computed_writes: 0,
+            accessor_methods: 0,
         }
+    }
+}
+
+/// Emits the computed-key and descriptor-based install blocks onto the
+/// receiver named `recv` (the shapes behind [`GenConfig::computed_writes`]
+/// and [`GenConfig::accessor_methods`]).
+fn emit_dynamic_installs(src: &mut String, cfg: &GenConfig, li: usize, recv: &str, indent: &str) {
+    if cfg.computed_writes > 0 {
+        let n = cfg.computed_writes;
+        let _ = writeln!(
+            src,
+            "{indent}for (var ci{li} = 0; ci{li} < {n}; ci{li} = ci{li} + 1) {{"
+        );
+        let _ = writeln!(
+            src,
+            "{indent}  {recv}['cw' + ci{li}] = function lib{li}_cw(x) {{ return track{li}('cw') + x; }};"
+        );
+        let _ = writeln!(src, "{indent}}}");
+    }
+    for k in 0..cfg.accessor_methods {
+        let _ = writeln!(src, "{indent}Object.defineProperty({recv}, 'ds{k}', {{");
+        let _ = writeln!(
+            src,
+            "{indent}  value: function lib{li}_ds{k}(x) {{ return track{li}('ds{k}') + x; }},"
+        );
+        let _ = writeln!(src, "{indent}  enumerable: true");
+        let _ = writeln!(src, "{indent}}});");
+    }
+    if cfg.accessor_methods > 0 {
+        let _ = writeln!(src, "{indent}Object.defineProperty({recv}, 'snapshot', {{");
+        let _ = writeln!(
+            src,
+            "{indent}  get: function() {{ return state{li}.calls; }}"
+        );
+        let _ = writeln!(src, "{indent}}});");
     }
 }
 
@@ -157,6 +206,7 @@ pub fn generate(cfg: &GenConfig) -> Project {
                 let _ = writeln!(src, "  mix(api, EventEmitter.prototype);");
             }
             let _ = writeln!(src, "  mix(api, proto{li});");
+            emit_dynamic_installs(&mut src, cfg, li, "api", "  ");
             let _ = writeln!(src, "  return api;");
             let _ = writeln!(src, "}};");
         } else {
@@ -175,12 +225,23 @@ pub fn generate(cfg: &GenConfig) -> Project {
                 "  api{li}[name] = function lib{li}_dyn(x) {{ return track{li}(name) + x; }};"
             );
             let _ = writeln!(src, "}});");
+            emit_dynamic_installs(&mut src, cfg, li, &format!("api{li}"), "");
             if emitter {
                 let _ = writeln!(src, "api{li}.events = new EventEmitter();");
             }
             let _ = writeln!(src, "module.exports = api{li};");
         }
         p.add_file(format!("node_modules/lib{li}/index.js"), src);
+        // The dynamically-installed extras are callable API like any other
+        // method, so app modules (and the hard dispatchers' drivers) pick
+        // from them too. The `snapshot` accessor is read-only and stays
+        // out of the callable table.
+        for ci in 0..cfg.computed_writes {
+            methods.push((format!("cw{ci}"), true));
+        }
+        for k in 0..cfg.accessor_methods {
+            methods.push((format!("ds{k}"), true));
+        }
         lib_methods.push(methods);
     }
 
@@ -215,6 +276,17 @@ pub fn generate(cfg: &GenConfig) -> Project {
                 format!("lib{li}")
             };
             let _ = writeln!(src, "  out.push({recv}.{m}('a{ai}'));");
+        }
+        if cfg.accessor_methods > 0 {
+            // Read through the getter accessor (no call edge: accessor
+            // dispatch is not a source-level call site).
+            let li = used[0];
+            let recv = if cfg.use_mixin {
+                format!("api{li}")
+            } else {
+                format!("lib{li}")
+            };
+            let _ = writeln!(src, "  out.push({recv}.snapshot);");
         }
         let _ = writeln!(src, "  return out;");
         let _ = writeln!(src, "}};");
@@ -289,6 +361,10 @@ pub fn generate(cfg: &GenConfig) -> Project {
 /// 141-project population (the hand-written patterns provide the rest).
 pub fn population_configs(count: usize, base_seed: u64) -> Vec<GenConfig> {
     let mut rng = Rng::seed_from_u64(base_seed);
+    // The computed-write / accessor-descriptor weights draw from their own
+    // seed-derived stream so adding them did not perturb the draw order —
+    // and hence the values — of the pre-existing fields.
+    let mut wrng = Rng::seed_from_u64(base_seed ^ 0x5EED_CAFE);
     (0..count)
         .map(|i| {
             let size_class = i % 4;
@@ -317,6 +393,8 @@ pub fn population_configs(count: usize, base_seed: u64) -> Vec<GenConfig> {
                     3 => 0.5,
                     _ => 0.05,
                 },
+                computed_writes: wrng.random_range(0..3),
+                accessor_methods: wrng.random_range(0..3),
             }
         })
         .collect()
@@ -390,6 +468,58 @@ mod tests {
         let min = cfgs.iter().map(|c| c.libs).min().unwrap();
         let max = cfgs.iter().map(|c| c.libs).max().unwrap();
         assert!(max > min);
+    }
+
+    #[test]
+    fn computed_and_accessor_shapes_parse_in_both_layouts() {
+        let mut cfg = GenConfig::small("shapes", 11);
+        cfg.computed_writes = 2;
+        cfg.accessor_methods = 2;
+        let p = generate(&cfg);
+        aji_parser::parse_project(&p).unwrap();
+        let lib0 = p.file("node_modules/lib0/index.js").unwrap();
+        assert!(lib0.src.contains("['cw' + ci0]"), "computed-key loop:\n{}", lib0.src);
+        assert!(lib0.src.contains("Object.defineProperty(api0, 'ds0'"), "{}", lib0.src);
+        assert!(lib0.src.contains("get: function()"), "accessor descriptor:\n{}", lib0.src);
+        // App modules call the extras and read the accessor.
+        let mods: String = p
+            .files
+            .iter()
+            .filter(|f| f.path.starts_with("lib/"))
+            .map(|f| f.src.clone())
+            .collect();
+        assert!(mods.contains(".snapshot"), "accessor read:\n{mods}");
+
+        cfg.use_mixin = true;
+        let p = generate(&cfg);
+        aji_parser::parse_project(&p).unwrap();
+        let lib0 = p.file("node_modules/lib0/index.js").unwrap();
+        assert!(
+            lib0.src.contains("Object.defineProperty(api, 'ds0'"),
+            "factory-local installs:\n{}",
+            lib0.src
+        );
+    }
+
+    #[test]
+    fn new_shape_weights_do_not_disturb_existing_population_fields() {
+        // The weights draw from a separate stream: the pre-existing fields
+        // must be exactly what they were before the fields existed.
+        let cfgs = population_configs(6, 777);
+        let again = population_configs(6, 777);
+        for (a, b) in cfgs.iter().zip(&again) {
+            assert_eq!(a.libs, b.libs);
+            assert_eq!(a.computed_writes, b.computed_writes);
+            assert_eq!(a.accessor_methods, b.accessor_methods);
+        }
+        assert!(
+            cfgs.iter().any(|c| c.computed_writes > 0),
+            "some configs must exercise computed writes"
+        );
+        assert!(
+            cfgs.iter().any(|c| c.accessor_methods > 0),
+            "some configs must exercise descriptors"
+        );
     }
 
     #[test]

@@ -79,6 +79,23 @@ impl Default for AnalysisOptions {
     }
 }
 
+/// Test-only ablation switch: `true` when the `AJI_PTA_ABLATE`
+/// environment variable names `rule` (comma-separated, case-insensitive).
+///
+/// The soundness oracle's regression test sets `AJI_PTA_ABLATE=dpw` to
+/// silently disable the \[DPW\] rule *without* touching
+/// [`AnalysisOptions`] — mimicking how a real unsoundness regression
+/// would slip in: the configuration still claims write hints are on, but
+/// the rule no longer fires. Production paths never set the variable, so
+/// the switch is inert outside tests.
+#[must_use]
+pub fn rule_ablated(rule: &str) -> bool {
+    match std::env::var("AJI_PTA_ABLATE") {
+        Ok(v) => v.split(',').any(|r| r.trim().eq_ignore_ascii_case(rule)),
+        Err(_) => false,
+    }
+}
+
 /// Result of one static analysis run.
 #[derive(Debug)]
 pub struct Analysis {
@@ -173,7 +190,7 @@ pub fn analyze_parsed(
                 solver.token(TokenData::Obj(loc))
             }
         };
-        if opts.use_write_hints {
+        if opts.use_write_hints && !rule_ablated("dpw") {
             // [DPW]: t_{ℓ''} ∈ ⟦t_ℓ.p⟧
             for w in &h.writes {
                 let t_obj = token_at(&mut solver, w.obj);

@@ -59,6 +59,52 @@ impl TestCase {
         }
     }
 
+    /// A test case drawing fresh choices from a seeded PRNG — the public
+    /// face of the generation mode, for harnesses that schedule cases
+    /// themselves instead of going through [`Property::check`] (the
+    /// soundness fuzzer seeds one case per generated corpus program and
+    /// keeps the recorded [`TestCase::choices`] for later shrinking).
+    ///
+    /// ```
+    /// use aji_support::check::TestCase;
+    ///
+    /// let mut a = TestCase::with_seed(42);
+    /// let mut b = TestCase::with_seed(42);
+    /// assert_eq!(a.int_in(0u64..1000), b.int_in(0u64..1000));
+    /// assert_eq!(a.choices(), b.choices());
+    /// ```
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        Self::from_seed(seed)
+    }
+
+    /// A test case that replays a recorded choice sequence — the public
+    /// face of the shrinker's replay mode, so callers holding a
+    /// [`Failure`]'s choices can rebuild the exact failing value.
+    ///
+    /// Draws past the end of `choices` return `0` (the minimal choice),
+    /// and every draw is clamped to its bound, so replay is total: any
+    /// `u64` sequence produces *some* value of the generator.
+    ///
+    /// ```
+    /// use aji_support::check::TestCase;
+    ///
+    /// let mut tc = TestCase::for_choices(vec![7, 1]);
+    /// assert_eq!(tc.int_in(0u64..100), 7);
+    /// assert!(tc.bool());
+    /// assert_eq!(tc.int_in(0u64..100), 0, "past-end draws are minimal");
+    /// ```
+    #[must_use]
+    pub fn for_choices(choices: Vec<u64>) -> Self {
+        Self::replaying(choices)
+    }
+
+    /// The choices recorded so far (one entry per draw, in draw order).
+    #[must_use]
+    pub fn choices(&self) -> &[u64] {
+        &self.choices
+    }
+
     /// Draws a choice in `[0, n)`, recording it.
     ///
     /// # Panics
@@ -181,6 +227,126 @@ enum Run {
     Fail { message: String, choices: Vec<u64> },
 }
 
+/// A shrunk property failure, as found by [`Property::check`].
+///
+/// `choices` is the minimal recorded choice sequence; replaying it with
+/// [`TestCase::for_choices`] rebuilds the minimal failing value. `seed`
+/// reproduces the *original* (pre-shrink) case via `AJI_CHECK_SEED`.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Index of the failing case (0-based).
+    pub case: u32,
+    /// Per-case RNG seed that produced the original failure.
+    pub seed: u64,
+    /// The minimal failing choice sequence after shrinking.
+    pub choices: Vec<u64>,
+    /// The failure message of the minimal case.
+    pub message: String,
+    /// Property executions spent shrinking.
+    pub shrink_runs: u32,
+}
+
+/// Shrinks a failing choice sequence without a [`Property`]: repeatedly
+/// tries deleting blocks, zeroing blocks and halving/decrementing values,
+/// keeping any candidate on which `f` still fails and that is strictly
+/// smaller (shorter, or lexicographically smaller at equal length).
+/// Returns the minimal choices, their failure message and the number of
+/// property executions spent.
+///
+/// `initial` must be a sequence on which `f` fails (as recorded by a
+/// [`TestCase`]); `initial_message` is its failure message. This is the
+/// engine behind [`Property::check`], exposed so harnesses that find
+/// failures on their own schedule — e.g. a corpus fuzzer flagging a
+/// generated project — can still minimize them.
+///
+/// ```
+/// use aji_support::check::{shrink_choices, TestCase};
+///
+/// // Fails whenever the drawn value is >= 10; minimal failure is 10.
+/// let f = |tc: &mut TestCase| {
+///     let v = tc.int_in(0u64..1000);
+///     if v >= 10 { Err(format!("v = {v}")) } else { Ok(()) }
+/// };
+/// let (choices, message, _runs) = shrink_choices(vec![700], "v = 700".into(), 4096, f);
+/// assert_eq!(choices, vec![10]);
+/// assert_eq!(message, "v = 10");
+/// ```
+pub fn shrink_choices(
+    initial: Vec<u64>,
+    initial_message: String,
+    max_shrink_runs: u32,
+    f: impl Fn(&mut TestCase) -> Result<(), String>,
+) -> (Vec<u64>, String, u32) {
+    let mut best = initial;
+    let mut best_message = initial_message;
+    let mut runs = 0u32;
+    let smaller = |cand: &[u64], cur: &[u64]| {
+        cand.len() < cur.len() || (cand.len() == cur.len() && cand < cur)
+    };
+    let mut improved = true;
+    while improved && runs < max_shrink_runs {
+        improved = false;
+        let mut candidates: Vec<Vec<u64>> = Vec::new();
+        // Delete blocks of choices, large blocks first.
+        for k in [16usize, 8, 4, 2, 1] {
+            if best.len() < k {
+                continue;
+            }
+            for i in (0..=best.len() - k).rev() {
+                let mut c = best.clone();
+                c.drain(i..i + k);
+                candidates.push(c);
+            }
+        }
+        // Zero blocks.
+        for k in [8usize, 4, 2, 1] {
+            if best.len() < k {
+                continue;
+            }
+            for i in 0..=best.len() - k {
+                if best[i..i + k].iter().all(|&v| v == 0) {
+                    continue;
+                }
+                let mut c = best.clone();
+                c[i..i + k].iter_mut().for_each(|v| *v = 0);
+                candidates.push(c);
+            }
+        }
+        // Halve and decrement individual values.
+        for i in 0..best.len() {
+            if best[i] > 1 {
+                let mut c = best.clone();
+                c[i] /= 2;
+                candidates.push(c);
+            }
+            if best[i] > 0 {
+                let mut c = best.clone();
+                c[i] -= 1;
+                candidates.push(c);
+            }
+        }
+        for cand in candidates {
+            if runs >= max_shrink_runs {
+                break;
+            }
+            if !smaller(&cand, &best) {
+                continue;
+            }
+            runs += 1;
+            if let Run::Fail { message, choices } = Property::execute(&f, cand) {
+                // Record what the property actually consumed — replay
+                // may terminate earlier than the candidate suggests.
+                if smaller(&choices, &best) {
+                    best = choices;
+                    best_message = message;
+                    improved = true;
+                }
+            }
+        }
+    }
+    (best, best_message, runs)
+}
+
 impl Property {
     /// Sets the number of cases to generate (default 128).
     pub fn cases(mut self, n: u32) -> Self {
@@ -209,24 +375,65 @@ impl Property {
             self.run_one_seed(seed, &f);
             return;
         }
+        let name = self.name.clone();
+        if let Some(fail) = self.check(f) {
+            panic!(
+                "property '{name}' failed (case {}, seed {}; rerun with \
+                 AJI_CHECK_SEED={}).\nShrunk to {} choices {:?}\n{}",
+                fail.case,
+                fail.seed,
+                fail.seed,
+                fail.choices.len(),
+                fail.choices,
+                fail.message
+            );
+        }
+    }
+
+    /// Runs the property over `cases` seeded test cases and returns the
+    /// first failure, shrunk, instead of panicking — the embeddable
+    /// variant of [`Property::run`] for harnesses (like the soundness
+    /// fuzzer) that treat a failure as data rather than a test verdict.
+    ///
+    /// Returns `None` when every case passes. Ignores `AJI_CHECK_SEED`;
+    /// seed replay is a `#[test]`-runner concern that stays in `run`.
+    ///
+    /// ```
+    /// use aji_support::check::property;
+    ///
+    /// let fail = property("finds_boundary").cases(200).check(|tc| {
+    ///     let v = tc.int_in(0u64..10_000);
+    ///     if v >= 13 { Err(format!("v = {v}")) } else { Ok(()) }
+    /// });
+    /// let fail = fail.expect("property must fail somewhere");
+    /// assert_eq!(fail.choices, vec![13], "shrunk to the boundary");
+    ///
+    /// let pass = property("never_fails").cases(50).check(|tc| {
+    ///     let _ = tc.bool();
+    ///     Ok(())
+    /// });
+    /// assert!(pass.is_none());
+    /// ```
+    #[must_use]
+    pub fn check(self, f: impl Fn(&mut TestCase) -> Result<(), String>) -> Option<Failure> {
         let base = fnv1a(&self.name);
         for case in 0..self.cases {
             let mut state = base ^ (case as u64).wrapping_mul(0x9E3779B97F4A7C15);
             let seed = splitmix64(&mut state);
             let mut tc = TestCase::from_seed(seed);
             if let Err(message) = f(&mut tc) {
-                let (min_choices, min_message) =
-                    self.shrink(tc.choices, message, &f);
-                panic!(
-                    "property '{}' failed (case {case}, seed {seed}; rerun with \
-                     AJI_CHECK_SEED={seed}).\nShrunk to {} choices {:?}\n{}",
-                    self.name,
-                    min_choices.len(),
-                    min_choices,
-                    min_message
-                );
+                let (choices, message, shrink_runs) =
+                    shrink_choices(tc.choices, message, self.max_shrink_runs, &f);
+                return Some(Failure {
+                    case,
+                    seed,
+                    choices,
+                    message,
+                    shrink_runs,
+                });
             }
         }
+        None
     }
 
     fn run_one_seed(&self, seed: u64, f: &impl Fn(&mut TestCase) -> Result<(), String>) {
@@ -253,85 +460,6 @@ impl Property {
         }
     }
 
-    /// Shrinks a failing choice sequence: repeatedly tries deleting blocks,
-    /// zeroing blocks and halving values, keeping any candidate that still
-    /// fails and is strictly smaller (shorter, or lexicographically
-    /// smaller at equal length).
-    fn shrink(
-        &self,
-        initial: Vec<u64>,
-        initial_message: String,
-        f: &impl Fn(&mut TestCase) -> Result<(), String>,
-    ) -> (Vec<u64>, String) {
-        let mut best = initial;
-        let mut best_message = initial_message;
-        let mut runs = 0u32;
-        let smaller = |cand: &[u64], cur: &[u64]| {
-            cand.len() < cur.len() || (cand.len() == cur.len() && cand < cur)
-        };
-        let mut improved = true;
-        while improved && runs < self.max_shrink_runs {
-            improved = false;
-            let mut candidates: Vec<Vec<u64>> = Vec::new();
-            // Delete blocks of choices, large blocks first.
-            for k in [16usize, 8, 4, 2, 1] {
-                if best.len() < k {
-                    continue;
-                }
-                for i in (0..=best.len() - k).rev() {
-                    let mut c = best.clone();
-                    c.drain(i..i + k);
-                    candidates.push(c);
-                }
-            }
-            // Zero blocks.
-            for k in [8usize, 4, 2, 1] {
-                if best.len() < k {
-                    continue;
-                }
-                for i in 0..=best.len() - k {
-                    if best[i..i + k].iter().all(|&v| v == 0) {
-                        continue;
-                    }
-                    let mut c = best.clone();
-                    c[i..i + k].iter_mut().for_each(|v| *v = 0);
-                    candidates.push(c);
-                }
-            }
-            // Halve and decrement individual values.
-            for i in 0..best.len() {
-                if best[i] > 1 {
-                    let mut c = best.clone();
-                    c[i] /= 2;
-                    candidates.push(c);
-                }
-                if best[i] > 0 {
-                    let mut c = best.clone();
-                    c[i] -= 1;
-                    candidates.push(c);
-                }
-            }
-            for cand in candidates {
-                if runs >= self.max_shrink_runs {
-                    break;
-                }
-                if !smaller(&cand, &best) {
-                    continue;
-                }
-                runs += 1;
-                if let Run::Fail { message, choices } = Self::execute(f, cand) {
-                    // Record what the property actually consumed — replay
-                    // may terminate earlier than the candidate suggests.
-                    if smaller(&choices, &best) {
-                        best = choices;
-                        best_message = message;
-                        improved = true;
-                    }
-                }
-            }
-        }
-        (best, best_message)
-    }
 }
 
 /// `proptest`-style assertion: fails the property (returns `Err`) instead
@@ -475,5 +603,52 @@ mod tests {
         assert_eq!(tc.choice(10), 5);
         assert_eq!(tc.choice(10), 0, "past-prefix draws are 0");
         assert_eq!(tc.choice(3), 0);
+    }
+
+    #[test]
+    fn check_returns_shrunk_failure_without_panicking() {
+        let fail = property("check_shrinks_to_13").cases(200).check(|tc| {
+            let v = tc.int_in(0u64..10_000);
+            prop_assert!(v < 13, "v = {v}");
+            Ok(())
+        });
+        let fail = fail.expect("property fails somewhere in 200 cases");
+        assert_eq!(fail.choices, vec![13]);
+        assert!(fail.message.contains("v = 13"), "message: {}", fail.message);
+        assert!(fail.shrink_runs > 0);
+        // Replaying the shrunk choices rebuilds the minimal value.
+        let mut tc = TestCase::for_choices(fail.choices.clone());
+        assert_eq!(tc.int_in(0u64..10_000), 13);
+    }
+
+    #[test]
+    fn check_passes_quietly() {
+        let fail = property("check_passes").cases(30).check(|tc| {
+            let _ = tc.int_in(0u32..5);
+            Ok(())
+        });
+        assert!(fail.is_none());
+    }
+
+    #[test]
+    fn shrink_choices_is_reusable_outside_properties() {
+        // A failure found by an external harness (not Property::check):
+        // any sequence whose first draw is >= 100 fails.
+        let f = |tc: &mut TestCase| {
+            let v = tc.int_in(0u64..100_000);
+            let w = tc.int_in(0u64..10);
+            if v >= 100 {
+                Err(format!("v = {v}, w = {w}"))
+            } else {
+                Ok(())
+            }
+        };
+        let (choices, message, runs) =
+            shrink_choices(vec![31_337, 7], "v = 31337, w = 7".into(), 4096, f);
+        // The property always draws twice, so the minimal sequence is the
+        // boundary value followed by the minimal second draw.
+        assert_eq!(choices, vec![100, 0], "shrinks the value and zeroes the tail");
+        assert!(message.starts_with("v = 100"), "message: {message}");
+        assert!(runs > 0);
     }
 }

@@ -42,6 +42,6 @@ pub mod json;
 pub mod par;
 pub mod rng;
 
-pub use check::TestCase;
+pub use check::{Failure, TestCase};
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use rng::Rng;

@@ -22,4 +22,14 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 echo "==> cargo test -q --offline --test corpus_determinism"
 cargo test -q --offline --test corpus_determinism
 
+echo "==> aji-oracle --seed 1 --cases 50 (smoke: a healthy build fuzzes clean)"
+./target/release/aji-oracle --seed 1 --cases 50
+
+echo "==> aji-oracle determinism (same seed, threads 1 vs 4, byte-identical)"
+./target/release/aji-oracle --seed 1 --cases 50 --json --threads 1 > target/oracle-t1.json
+./target/release/aji-oracle --seed 1 --cases 50 --json --threads 4 > target/oracle-t4.json
+cmp target/oracle-t1.json target/oracle-t4.json
+./target/release/aji-oracle --seed 1 --cases 50 --json --threads 1 > target/oracle-rerun.json
+cmp target/oracle-t1.json target/oracle-rerun.json
+
 echo "ok: workspace builds, tests, lints and docs clean with no network access"

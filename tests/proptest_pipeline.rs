@@ -26,6 +26,8 @@ fn config(tc: &mut TestCase) -> GenConfig {
         driver_coverage: tc.int_in(0u8..11) as f64 / 10.0,
         vulns: 1,
         hard_dispatch_fraction: tc.int_in(0u8..6) as f64 / 10.0,
+        computed_writes: tc.int_in(0usize..3),
+        accessor_methods: tc.int_in(0usize..3),
     }
 }
 
