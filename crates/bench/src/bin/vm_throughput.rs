@@ -1,0 +1,319 @@
+//! Interpreter-throughput benchmark: tree-walker vs bytecode VM.
+//!
+//! Runs a purpose-written, fully slot-compilable hot loop (locals,
+//! `while`, property get/set through inline caches, direct and member
+//! calls) through the same `Interp` twice — once with `use_vm: false`
+//! (tree-walker) and once with `use_vm: true` (bytecode VM) — and reports
+//! steps/second for each engine plus the speedup. Both engines charge the
+//! identical number of steps for the identical program, so steps/sec is a
+//! like-for-like work rate, not a proxy metric.
+//!
+//! Usage: `vm-throughput [--metrics-json] [--require-speedup X] [--out FILE]`
+//!
+//! * `--metrics-json`    print only the deterministic metrics (steps, IC
+//!                       and compile counters, results) as JSON — no
+//!                       timings, so two runs are byte-identical. Used by
+//!                       `scripts/check-hermetic.sh` for a `cmp` check.
+//! * `--require-speedup X`  exit non-zero unless VM/tree speedup ≥ X.
+//! * `--out FILE`        also write the (full) JSON report to FILE.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use aji_interp::{Interp, InterpOptions, NoopTracer, Value};
+use aji_support::Json;
+
+/// The benchmark program. Everything on the hot path sits inside the
+/// bytecode compiler's supported subset: identifier locals, `while`,
+/// object-literal allocation, monomorphic property gets/sets, direct
+/// calls and member calls. Function declarations live at module top
+/// level (module bodies are always tree-walked; only *calls* enter the
+/// VM).
+const HOT_SRC: &str = r#"
+function kick(i) {
+  this.sum = (this.sum + (i & 15)) % 1048576;
+  return this.sum;
+}
+function hot(n) {
+  var p = { x: 1, y: 2, sum: 0, kick: kick };
+  var q = { a: 3, b: 5, c: 7, d: 11 };
+  var r = { u: 13, v: 17, w: 19, z: 23 };
+  var acc = 0;
+  var i = 0;
+  while (i < n) {
+    let a = p.x + (i & 7);
+    let b = p.y + q.a * 3 - (i & 3);
+    let t = (a + b) % 255;
+    if (t >= 0) {
+      let u = r.u + (t & 31);
+      let v = r.v + (u & 63);
+      r.u = (r.w + u) % 255;
+      r.v = (r.z + v) % 255;
+      r.w = (u + v) % 255;
+      r.z = (r.u + r.v) % 255;
+      p.x = (b - a + r.w) % 255;
+      p.y = (a + t + r.z) % 255;
+    } else {
+      p.x = (b - a) % 255;
+      p.y = (a + t) % 255;
+    }
+    q.a = (q.b + t) % 255;
+    q.b = (q.c + a) % 255;
+    q.c = (q.d + b) % 255;
+    q.d = (q.a + q.b) % 255;
+    p.sum = (p.sum + a + b + q.c + r.u) % 1048576;
+    if ((i & 15) === 0) {
+      let k = p.kick(i);
+      acc = (acc + k) % 1048576;
+    }
+    acc = (acc + p.sum + t) % 1048576;
+    i = i + 1;
+  }
+  return acc;
+}
+exports.hot = hot;
+"#;
+
+/// Inner-loop iterations per `hot(N)` call.
+const INNER: f64 = 20_000.0;
+/// Timed `hot(N)` calls per engine.
+const CALLS: u32 = 25;
+/// Warm-up calls per engine (populates the bytecode cache and ICs).
+const WARMUP: u32 = 3;
+/// Timing passes per engine; the fastest is reported (minimum-of-N is
+/// the standard way to strip scheduler and thermal noise from a
+/// deterministic workload).
+const PASSES: u32 = 3;
+
+struct EngineRun {
+    steps: u64,
+    result: String,
+    elapsed_s: f64,
+    counters: Vec<(String, u64)>,
+}
+
+fn counter_value(counters: &[(String, u64)], name: &str) -> u64 {
+    counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or(0)
+}
+
+/// One pass over the workload: fresh interpreter, warm-up, then `CALLS`
+/// timed calls. Returns (steps, elapsed, final result).
+fn one_pass(use_vm: bool) -> Result<(u64, f64, String), String> {
+    let mut project = aji_ast::Project::new("vm-throughput");
+    project.add_file("index.js", HOT_SRC);
+    let opts = InterpOptions {
+        max_steps: u64::MAX >> 1,
+        use_vm,
+        ..InterpOptions::default()
+    };
+    let mut interp = Interp::with_options(&project, opts, Box::new(NoopTracer))
+        .map_err(|e| format!("parse error: {e:?}"))?;
+    let exports = interp
+        .run_module("index.js")
+        .map_err(|e| format!("module error: {e:?}"))?;
+    let hot = interp
+        .get_property_public(&exports, "hot")
+        .map_err(|e| format!("export error: {e:?}"))?;
+    for _ in 0..WARMUP {
+        interp
+            .call_function(hot.clone(), Value::Undefined, &[Value::Num(INNER)])
+            .map_err(|e| format!("warmup error: {e:?}"))?;
+    }
+    interp.reset_steps();
+    let before = interp.steps();
+    let t0 = Instant::now();
+    let mut result = Value::Undefined;
+    for _ in 0..CALLS {
+        result = interp
+            .call_function(hot.clone(), Value::Undefined, &[Value::Num(INNER)])
+            .map_err(|e| format!("run error: {e:?}"))?;
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    let steps = interp.steps() - before;
+    Ok((steps, elapsed_s, interp.to_string_public(&result)))
+}
+
+/// Runs the workload twice per engine: a *metrics* pass inside a scoped
+/// observability registry (to read IC and compile counters), then a
+/// *timing* pass with observability inactive — the production
+/// configuration, where counter handles are no-ops and the hot path pays
+/// no atomics. The program is deterministic, so both passes execute the
+/// identical step sequence; we assert it.
+fn run_engine(use_vm: bool) -> Result<EngineRun, String> {
+    let registry = Arc::new(aji_obs::Registry::new());
+    let (metric_steps, _, metric_result) = aji_obs::scoped(&registry, || one_pass(use_vm))?;
+    let counters: Vec<(String, u64)> = registry
+        .report()
+        .counters
+        .into_iter()
+        .map(|c| (c.name, c.value))
+        .collect();
+    let mut best: Option<(u64, f64, String)> = None;
+    for _ in 0..PASSES {
+        let (steps, elapsed_s, result) = one_pass(use_vm)?;
+        if steps != metric_steps || result != metric_result {
+            return Err(format!(
+                "nondeterministic workload: metrics pass {metric_steps} steps → \
+                 {metric_result}, timing pass {steps} steps → {result}"
+            ));
+        }
+        if best.as_ref().is_none_or(|(_, e, _)| elapsed_s < *e) {
+            best = Some((steps, elapsed_s, result));
+        }
+    }
+    let (steps, elapsed_s, result) = best.expect("at least one pass");
+    Ok(EngineRun {
+        steps,
+        result,
+        elapsed_s,
+        counters,
+    })
+}
+
+fn engine_metrics(run: &EngineRun) -> Json {
+    Json::obj(vec![
+        ("steps", Json::Num(run.steps as f64)),
+        ("result", Json::Str(run.result.clone())),
+        (
+            "vm_compiles",
+            Json::Num(counter_value(&run.counters, "interp.vm_compiles") as f64),
+        ),
+        (
+            "vm_bails",
+            Json::Num(counter_value(&run.counters, "interp.vm_bails") as f64),
+        ),
+        (
+            "ic_hits",
+            Json::Num(counter_value(&run.counters, "interp.ic_hits") as f64),
+        ),
+        (
+            "ic_misses",
+            Json::Num(counter_value(&run.counters, "interp.ic_misses") as f64),
+        ),
+    ])
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: vm-throughput [--metrics-json] [--require-speedup X] [--out FILE]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut metrics_only = false;
+    let mut require_speedup: Option<f64> = None;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--metrics-json" => metrics_only = true,
+            "--require-speedup" => match args.next().and_then(|x| x.parse().ok()) {
+                Some(x) => require_speedup = Some(x),
+                None => return usage(),
+            },
+            "--out" => match args.next() {
+                Some(f) => out = Some(f),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let tree = match run_engine(false) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("vm-throughput: tree-walker: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let vm = match run_engine(true) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("vm-throughput: vm: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Both engines must do the same work and compute the same answer —
+    // a throughput number over divergent executions would be meaningless.
+    if tree.steps != vm.steps || tree.result != vm.result {
+        eprintln!(
+            "vm-throughput: engines diverged: tree {} steps → {}, vm {} steps → {}",
+            tree.steps, tree.result, vm.steps, vm.result
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if metrics_only {
+        let doc = Json::obj(vec![
+            ("benchmark", Json::Str("vm-throughput".into())),
+            ("tree", engine_metrics(&tree)),
+            ("vm", engine_metrics(&vm)),
+        ]);
+        println!("{doc}");
+        return ExitCode::SUCCESS;
+    }
+
+    let tree_sps = tree.steps as f64 / tree.elapsed_s;
+    let vm_sps = vm.steps as f64 / vm.elapsed_s;
+    let speedup = vm_sps / tree_sps;
+    let doc = Json::obj(vec![
+        ("benchmark", Json::Str("vm-throughput".into())),
+        (
+            "workload",
+            Json::obj(vec![
+                ("inner_iters", Json::Num(INNER)),
+                ("timed_calls", Json::Num(f64::from(CALLS))),
+                ("warmup_calls", Json::Num(f64::from(WARMUP))),
+            ]),
+        ),
+        (
+            "tree",
+            Json::obj(vec![
+                ("steps", Json::Num(tree.steps as f64)),
+                ("elapsed_s", Json::Num(tree.elapsed_s)),
+                ("steps_per_sec", Json::Num(tree_sps.round())),
+                ("metrics", engine_metrics(&tree)),
+            ]),
+        ),
+        (
+            "vm",
+            Json::obj(vec![
+                ("steps", Json::Num(vm.steps as f64)),
+                ("elapsed_s", Json::Num(vm.elapsed_s)),
+                ("steps_per_sec", Json::Num(vm_sps.round())),
+                ("metrics", engine_metrics(&vm)),
+            ]),
+        ),
+        ("speedup", Json::Num((speedup * 100.0).round() / 100.0)),
+        (
+            "notes",
+            Json::Str(
+                "single-core wall clock, min of 3 passes, obs inactive during timing; \
+                 steps are identical across engines by the parity contract; analysis \
+                 output (oracle recall 93.0% with hints, corpus determinism) is pinned \
+                 unchanged by tests/oracle_pipeline.rs and tests/bytecode_differential.rs"
+                    .into(),
+            ),
+        ),
+    ]);
+    let text = doc.to_string();
+    println!("{text}");
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, format!("{text}\n")) {
+            eprintln!("vm-throughput: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(min) = require_speedup {
+        if speedup < min {
+            eprintln!("vm-throughput: speedup {speedup:.2}x below required {min:.2}x");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,1058 @@
+//! AST → bytecode compiler.
+//!
+//! The compiler walks a function body exactly once, emitting ops in the
+//! tree-walker's evaluation order with an [`Op::Step`] wherever
+//! `eval_expr` / `exec_stmt` would have charged a step. Anything outside
+//! the supported subset aborts the whole function with a [`Bail`] — the
+//! caller memoizes the bail and keeps tree-walking.
+//!
+//! Supported subset, deliberately small and provable: literal / template
+//! / identifier / `this` reads, array and (static-key) object literals,
+//! unary / binary / logical / conditional / sequence expressions,
+//! identifier and member assignment (compound only on identifiers),
+//! `++`/`--` on identifiers, calls / method calls / `new` without spread
+//! or optional chaining, `if` / `while` / `do-while` / C-style `for` /
+//! blocks / unlabeled `break`-`continue` / `return` / `throw` with
+//! identifier-pattern declarations. Everything else bails.
+
+use std::collections::HashMap;
+
+use aji_ast::ast::{
+    AssignOp, AssignTarget, Expr, ExprKind, ExprOrSpread, ForInit, FuncBody, Function, MemberProp,
+    PatternKind, Property, Stmt, StmtKind, UnaryOp, UpdateOp, VarDecl, VarKind,
+};
+use aji_ast::Span;
+
+use crate::{Bail, Chunk, Const, Op};
+
+/// Compiles a function body to a [`Chunk`], or explains why it cannot be
+/// compiled. The result is independent of any runtime state — one chunk
+/// per function definition, shared by every closure over it.
+pub fn compile_function(def: &Function) -> Result<Chunk, Bail> {
+    let mut c = Compiler::default();
+    c.build_frame(def)?;
+    match &def.body {
+        FuncBody::Block(stmts) => {
+            for s in stmts {
+                c.stmt(s)?;
+            }
+            c.emit(Op::ReturnUndef);
+        }
+        FuncBody::Expr(e) => {
+            // Arrow expression body: the expression's value is the return
+            // value; no statement step is charged.
+            c.expr(e)?;
+            c.emit(Op::Return);
+        }
+    }
+    c.finish()
+}
+
+/// Dedup key for the constant pool (`f64` keyed by bit pattern so `NaN`
+/// and `-0.0` intern correctly).
+#[derive(PartialEq, Eq, Hash)]
+enum ConstKey {
+    Undefined,
+    Null,
+    Bool(bool),
+    Num(u64),
+    Str(String),
+}
+
+/// An enclosing compiled loop: `continue` jumps to `head`, `break` sites
+/// are patched to the loop end once it is known.
+struct LoopCtx {
+    head: u32,
+    breaks: Vec<usize>,
+}
+
+#[derive(Default)]
+struct Compiler {
+    ops: Vec<Op>,
+    consts: Vec<Const>,
+    const_idx: HashMap<ConstKey, u16>,
+    names: Vec<String>,
+    name_idx: HashMap<String, u16>,
+    spans: Vec<Span>,
+    templates: Vec<Vec<String>>,
+    entry: Vec<(u16, u16)>,
+    /// Lexical slot scopes, innermost last. `scopes[0]` is the function
+    /// scope (params + hoisted `var`s + body-top-level `let`/`const`).
+    scopes: Vec<HashMap<String, u16>>,
+    n_slots: u32,
+    n_loops: u32,
+    n_ics: u32,
+    loops: Vec<LoopCtx>,
+}
+
+/// Identifier reads the tree-walker resolves before consulting the scope
+/// chain (`eval_ident`'s special cases). Reads of these names compile to
+/// constants / dedicated ops even when shadowed by a local — exactly the
+/// tree-walker's (bug-compatible) behaviour. Writes are *not* special.
+fn special_ident(name: &str) -> bool {
+    matches!(
+        name,
+        "undefined" | "NaN" | "Infinity" | "globalThis" | "global"
+    )
+}
+
+impl Compiler {
+    // ---- pools ---------------------------------------------------------
+
+    fn emit(&mut self, op: Op) -> usize {
+        self.ops.push(op);
+        self.ops.len() - 1
+    }
+
+    fn here(&self) -> u32 {
+        self.ops.len() as u32
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        match &mut self.ops[at] {
+            Op::Jump(t)
+            | Op::JumpIfFalse(t)
+            | Op::JumpTruthyKeep(t)
+            | Op::JumpFalsyKeep(t)
+            | Op::JumpNotNullishKeep(t) => *t = target,
+            Op::TypeOfName { end, .. } => *end = target,
+            other => unreachable!("patching non-jump op {other:?}"),
+        }
+    }
+
+    fn konst(&mut self, c: Const) -> Result<u16, Bail> {
+        let key = match &c {
+            Const::Undefined => ConstKey::Undefined,
+            Const::Null => ConstKey::Null,
+            Const::Bool(b) => ConstKey::Bool(*b),
+            Const::Num(n) => ConstKey::Num(n.to_bits()),
+            Const::Str(s) => ConstKey::Str(s.clone()),
+        };
+        if let Some(&i) = self.const_idx.get(&key) {
+            return Ok(i);
+        }
+        let i = u16::try_from(self.consts.len()).map_err(|_| Bail("constant pool overflow"))?;
+        self.consts.push(c);
+        self.const_idx.insert(key, i);
+        Ok(i)
+    }
+
+    fn push_const(&mut self, c: Const) -> Result<(), Bail> {
+        let i = self.konst(c)?;
+        self.emit(Op::Const(i));
+        Ok(())
+    }
+
+    fn name(&mut self, s: &str) -> Result<u16, Bail> {
+        if let Some(&i) = self.name_idx.get(s) {
+            return Ok(i);
+        }
+        let i = u16::try_from(self.names.len()).map_err(|_| Bail("name pool overflow"))?;
+        self.names.push(s.to_string());
+        self.name_idx.insert(s.to_string(), i);
+        Ok(i)
+    }
+
+    fn span(&mut self, sp: Span) -> Result<u16, Bail> {
+        let i = u16::try_from(self.spans.len()).map_err(|_| Bail("span pool overflow"))?;
+        self.spans.push(sp);
+        Ok(i)
+    }
+
+    fn fresh_slot(&mut self) -> Result<u16, Bail> {
+        let i = u16::try_from(self.n_slots).map_err(|_| Bail("slot overflow"))?;
+        self.n_slots += 1;
+        Ok(i)
+    }
+
+    fn fresh_loop(&mut self) -> Result<u16, Bail> {
+        let i = u16::try_from(self.n_loops).map_err(|_| Bail("loop counter overflow"))?;
+        self.n_loops += 1;
+        Ok(i)
+    }
+
+    fn fresh_ic(&mut self) -> Result<u16, Bail> {
+        let i = u16::try_from(self.n_ics).map_err(|_| Bail("inline cache overflow"))?;
+        self.n_ics += 1;
+        Ok(i)
+    }
+
+    /// Resolves a name to a frame slot, innermost lexical scope first.
+    fn resolve(&self, name: &str) -> Option<u16> {
+        self.scopes
+            .iter()
+            .rev()
+            .find_map(|m| m.get(name).copied())
+    }
+
+    // ---- frame layout --------------------------------------------------
+
+    /// Builds the function-scope slot map: identifier parameters (seeded
+    /// from the prologue-populated scope at frame entry), hoisted `var`
+    /// names, and body-top-level `let`/`const`. Mirrors the tree-walker's
+    /// `hoist` pass — a `let` colliding with a parameter resets it to
+    /// `undefined`, so its entry seed is dropped.
+    fn build_frame(&mut self, def: &Function) -> Result<(), Bail> {
+        let mut fscope: HashMap<String, u16> = HashMap::new();
+
+        // Identifier parameters read their prologue-bound value at frame
+        // entry. Duplicate names share a slot; `get_own` sees the last
+        // binding, matching the tree-walker's scope state. Destructured
+        // or defaulted inner names stay scope-resolved (no slot).
+        for p in &def.params {
+            if let PatternKind::Ident(n) = &p.pat.kind {
+                if !fscope.contains_key(n) {
+                    let slot = self.fresh_slot()?;
+                    let name = self.name(n)?;
+                    fscope.insert(n.clone(), slot);
+                    self.entry.push((slot, name));
+                }
+            }
+        }
+
+        // Hoisted `var` names start `undefined` unless the prologue bound
+        // them (parameter shadowing) — the entry seed handles both, since
+        // `get_own` returns `None` for unbound names.
+        if let FuncBody::Block(stmts) = &def.body {
+            let mut vars = Vec::new();
+            collect_vars(stmts, &mut vars)?;
+            for n in vars {
+                if let std::collections::hash_map::Entry::Vacant(e) = fscope.entry(n) {
+                    let slot = self.fresh_slot()?;
+                    let name = self.name(e.key())?;
+                    e.insert(slot);
+                    self.entry.push((slot, name));
+                }
+            }
+
+            // Body-top-level `let`/`const`: hoisted to `undefined` before
+            // any statement runs, clobbering a same-named parameter.
+            for s in stmts {
+                if let StmtKind::VarDecl(d) = &s.kind {
+                    if d.kind != VarKind::Var {
+                        for decl in &d.decls {
+                            let PatternKind::Ident(n) = &decl.name.kind else {
+                                return Err(Bail("destructuring declaration"));
+                            };
+                            if let Some(&slot) = fscope.get(n) {
+                                self.entry.retain(|&(s, _)| s != slot);
+                            } else {
+                                let slot = self.fresh_slot()?;
+                                fscope.insert(n.clone(), slot);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        self.scopes.push(fscope);
+        Ok(())
+    }
+
+    fn finish(self) -> Result<Chunk, Bail> {
+        u32::try_from(self.ops.len()).map_err(|_| Bail("op overflow"))?;
+        Ok(Chunk {
+            ops: fuse(self.ops),
+            consts: self.consts,
+            names: self.names,
+            spans: self.spans,
+            templates: self.templates,
+            entry: self.entry,
+            n_slots: self.n_slots as u16,
+            n_loops: self.n_loops as u16,
+            n_ics: self.n_ics as u16,
+        })
+    }
+
+    // ---- statements ----------------------------------------------------
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), Bail> {
+        // `exec_stmt` charges one step on entry, before dispatch.
+        self.emit(Op::Step);
+        match &s.kind {
+            StmtKind::Expr(e) => {
+                self.expr(e)?;
+                self.emit(Op::Pop);
+            }
+            StmtKind::VarDecl(d) => self.var_decl(d)?,
+            StmtKind::FuncDecl(_) => return Err(Bail("function declaration")),
+            StmtKind::ClassDecl(_) => return Err(Bail("class declaration")),
+            StmtKind::Return(e) => {
+                match e {
+                    Some(e) => {
+                        self.expr(e)?;
+                        self.emit(Op::Return);
+                    }
+                    None => {
+                        self.emit(Op::ReturnUndef);
+                    }
+                };
+            }
+            StmtKind::If { test, cons, alt } => {
+                self.expr(test)?;
+                let j_alt = self.emit(Op::JumpIfFalse(0));
+                self.stmt(cons)?;
+                match alt {
+                    Some(alt) => {
+                        let j_end = self.emit(Op::Jump(0));
+                        let at = self.here();
+                        self.patch(j_alt, at);
+                        self.stmt(alt)?;
+                        let at = self.here();
+                        self.patch(j_end, at);
+                    }
+                    None => {
+                        let at = self.here();
+                        self.patch(j_alt, at);
+                    }
+                }
+            }
+            StmtKind::While { test, body } => {
+                let k = self.fresh_loop()?;
+                self.emit(Op::LoopEnter(k));
+                let head = self.here();
+                self.loops.push(LoopCtx {
+                    head,
+                    breaks: Vec::new(),
+                });
+                self.emit(Op::IterCheck(k));
+                self.expr(test)?;
+                let j_end = self.emit(Op::JumpIfFalse(0));
+                self.stmt(body)?;
+                self.emit(Op::Jump(head));
+                self.close_loop(&[j_end]);
+            }
+            StmtKind::DoWhile { body, test } => {
+                let k = self.fresh_loop()?;
+                self.emit(Op::LoopEnter(k));
+                // First iteration skips the test (but still counts).
+                self.emit(Op::IterCheck(k));
+                let j_body = self.emit(Op::Jump(0));
+                let head = self.here();
+                self.loops.push(LoopCtx {
+                    head,
+                    breaks: Vec::new(),
+                });
+                self.emit(Op::IterCheck(k));
+                self.expr(test)?;
+                let j_end = self.emit(Op::JumpIfFalse(0));
+                let at = self.here();
+                self.patch(j_body, at);
+                self.stmt(body)?;
+                self.emit(Op::Jump(head));
+                self.close_loop(&[j_end]);
+            }
+            StmtKind::For {
+                init,
+                test,
+                update,
+                body,
+            } => self.for_stmt(init.as_ref(), test.as_ref(), update.as_ref(), body)?,
+            StmtKind::Block(stmts) => self.block(stmts)?,
+            StmtKind::Empty | StmtKind::Debugger => {}
+            StmtKind::Break(None) => {
+                // Inside a compiled loop this jumps to its end; at body
+                // level the tree-walker's `Flow::Break` unwinds the whole
+                // function body, returning `undefined`.
+                match self.loops.last_mut() {
+                    Some(_) => {
+                        let j = self.emit(Op::Jump(0));
+                        self.loops.last_mut().unwrap().breaks.push(j);
+                    }
+                    None => {
+                        self.emit(Op::ReturnUndef);
+                    }
+                }
+            }
+            StmtKind::Continue(None) => match self.loops.last() {
+                Some(ctx) => {
+                    let head = ctx.head;
+                    self.emit(Op::Jump(head));
+                }
+                None => {
+                    self.emit(Op::ReturnUndef);
+                }
+            },
+            StmtKind::Break(Some(_)) | StmtKind::Continue(Some(_)) => {
+                return Err(Bail("labeled break/continue"))
+            }
+            StmtKind::Throw(e) => {
+                self.expr(e)?;
+                self.emit(Op::Throw);
+            }
+            StmtKind::ForIn { .. } => return Err(Bail("for-in")),
+            StmtKind::ForOf { .. } => return Err(Bail("for-of")),
+            StmtKind::Labeled { .. } => return Err(Bail("labeled statement")),
+            StmtKind::Switch { .. } => return Err(Bail("switch")),
+            StmtKind::Try { .. } => return Err(Bail("try")),
+        }
+        Ok(())
+    }
+
+    /// Patches pending `break` jumps and the given end-jumps to the
+    /// current position, popping the loop context.
+    fn close_loop(&mut self, ends: &[usize]) {
+        let end = self.here();
+        let ctx = self.loops.pop().expect("loop context");
+        for j in ctx.breaks.into_iter().chain(ends.iter().copied()) {
+            self.patch(j, end);
+        }
+    }
+
+    fn for_stmt(
+        &mut self,
+        init: Option<&ForInit>,
+        test: Option<&Expr>,
+        update: Option<&Expr>,
+        body: &Stmt,
+    ) -> Result<(), Bail> {
+        // The tree-walker wraps the whole loop in a block scope holding
+        // the `let` names, declared `undefined` before the initializer
+        // runs (without charging a declaration-statement step).
+        let mut map: HashMap<String, u16> = HashMap::new();
+        let mut undefs = Vec::new();
+        if let Some(ForInit::VarDecl(d)) = init {
+            if d.kind != VarKind::Var {
+                for decl in &d.decls {
+                    let PatternKind::Ident(n) = &decl.name.kind else {
+                        return Err(Bail("destructuring declaration"));
+                    };
+                    if !map.contains_key(n) {
+                        let slot = self.fresh_slot()?;
+                        map.insert(n.clone(), slot);
+                        undefs.push(slot);
+                    }
+                }
+            }
+        }
+        self.scopes.push(map);
+        for slot in undefs {
+            self.emit(Op::LocalUndef(slot));
+        }
+        match init {
+            Some(ForInit::VarDecl(d)) => self.var_decl(d)?,
+            Some(ForInit::Expr(e)) => {
+                self.expr(e)?;
+                self.emit(Op::Pop);
+            }
+            None => {}
+        }
+
+        let k = self.fresh_loop()?;
+        self.emit(Op::LoopEnter(k));
+        // First iteration checks the budget then skips the update.
+        self.emit(Op::IterCheck(k));
+        let j_first = self.emit(Op::Jump(0));
+        let head = self.here();
+        self.loops.push(LoopCtx {
+            head,
+            breaks: Vec::new(),
+        });
+        self.emit(Op::IterCheck(k));
+        if let Some(u) = update {
+            self.expr(u)?;
+            self.emit(Op::Pop);
+        }
+        let at = self.here();
+        self.patch(j_first, at);
+        let mut ends = Vec::new();
+        if let Some(t) = test {
+            self.expr(t)?;
+            ends.push(self.emit(Op::JumpIfFalse(0)));
+        }
+        self.stmt(body)?;
+        self.emit(Op::Jump(head));
+        self.close_loop(&ends);
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) -> Result<(), Bail> {
+        // Mirror of the tree-walker's block hoist: `let`/`const` (and the
+        // bailing class declarations) reset to `undefined` at block entry.
+        let mut map: HashMap<String, u16> = HashMap::new();
+        let mut undefs = Vec::new();
+        for s in stmts {
+            if let StmtKind::VarDecl(d) = &s.kind {
+                if d.kind != VarKind::Var {
+                    for decl in &d.decls {
+                        let PatternKind::Ident(n) = &decl.name.kind else {
+                            return Err(Bail("destructuring declaration"));
+                        };
+                        if !map.contains_key(n) {
+                            let slot = self.fresh_slot()?;
+                            map.insert(n.clone(), slot);
+                            undefs.push(slot);
+                        }
+                    }
+                }
+            }
+        }
+        self.scopes.push(map);
+        for slot in undefs {
+            self.emit(Op::LocalUndef(slot));
+        }
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    /// A declaration list. Charged steps come only from initializer
+    /// expressions — `exec_var_decl` itself does not step.
+    fn var_decl(&mut self, d: &VarDecl) -> Result<(), Bail> {
+        for decl in &d.decls {
+            let PatternKind::Ident(n) = &decl.name.kind else {
+                return Err(Bail("destructuring declaration"));
+            };
+            let Some(slot) = self.resolve(n) else {
+                // A `let` directly as an `if`/loop arm (no enclosing
+                // block) declares into the surrounding runtime scope;
+                // out of the compiled subset.
+                return Err(Bail("declaration outside tracked scope"));
+            };
+            match &decl.init {
+                Some(init) => {
+                    self.expr(init)?;
+                    self.emit(Op::StoreLocal(slot));
+                    self.emit(Op::Pop);
+                }
+                None => {
+                    if d.kind != VarKind::Var {
+                        // `let x;` re-declares to `undefined` even when
+                        // the slot already holds a value (block re-entry).
+                        self.emit(Op::LocalUndef(slot));
+                    }
+                    // `var x;` with the name already hoisted: no effect.
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- expressions ---------------------------------------------------
+
+    fn expr(&mut self, e: &Expr) -> Result<(), Bail> {
+        // `eval_expr` charges one step on entry, before dispatch —
+        // including for `Paren`, whose inner expression steps again.
+        self.emit(Op::Step);
+        match &e.kind {
+            ExprKind::Num(n) => self.push_const(Const::Num(*n))?,
+            ExprKind::Str(s) => self.push_const(Const::Str(s.clone()))?,
+            ExprKind::Bool(b) => self.push_const(Const::Bool(*b))?,
+            ExprKind::Null => self.push_const(Const::Null)?,
+            ExprKind::Template { quasis, exprs } => {
+                for x in exprs {
+                    self.expr(x)?;
+                    self.emit(Op::ToStr);
+                }
+                let tpl = u16::try_from(self.templates.len())
+                    .map_err(|_| Bail("template pool overflow"))?;
+                self.templates.push(quasis.clone());
+                let n = u16::try_from(exprs.len()).map_err(|_| Bail("template arity"))?;
+                self.emit(Op::Template { tpl, exprs: n });
+            }
+            ExprKind::Regex { .. } => return Err(Bail("regex literal")),
+            ExprKind::Ident(name) => self.ident_read(name)?,
+            ExprKind::This => {
+                self.emit(Op::LoadThis);
+            }
+            ExprKind::Array(elems) => {
+                for el in elems {
+                    match el {
+                        None => self.push_const(Const::Undefined)?,
+                        Some(ExprOrSpread { spread: false, expr }) => self.expr(expr)?,
+                        Some(ExprOrSpread { spread: true, .. }) => {
+                            return Err(Bail("array spread"))
+                        }
+                    }
+                }
+                let n = u16::try_from(elems.len()).map_err(|_| Bail("array arity"))?;
+                let span = self.span(e.span)?;
+                self.emit(Op::MakeArray { n, span });
+            }
+            ExprKind::Object(props) => {
+                let span = self.span(e.span)?;
+                self.emit(Op::MakeObject { span });
+                for p in props {
+                    match p {
+                        Property::KeyValue { key, value } => {
+                            let Some(name) = key.static_name() else {
+                                return Err(Bail("computed object key"));
+                            };
+                            self.expr(value)?;
+                            let name = self.name(&name)?;
+                            self.emit(Op::SetLitProp { name });
+                        }
+                        Property::Method { .. } => return Err(Bail("object method")),
+                        Property::Spread(_) => return Err(Bail("object spread")),
+                    }
+                }
+            }
+            ExprKind::Function(_) | ExprKind::Arrow(_) => return Err(Bail("nested closure")),
+            ExprKind::Class(_) => return Err(Bail("class expression")),
+            ExprKind::Unary { op, expr } => self.unary(*op, expr)?,
+            ExprKind::Update { op, prefix, expr } => {
+                let target = expr.unparen();
+                let ExprKind::Ident(name) = &target.kind else {
+                    return Err(Bail("update of non-identifier"));
+                };
+                // Old value, read exactly like the tree-walker (special
+                // identifiers included), then store-and-select.
+                self.expr(expr)?;
+                let dec = *op == UpdateOp::Dec;
+                match self.resolve(name) {
+                    Some(slot) => {
+                        self.emit(Op::UpdateLocal {
+                            slot,
+                            dec,
+                            prefix: *prefix,
+                        });
+                    }
+                    None => {
+                        let name = self.name(name)?;
+                        self.emit(Op::UpdateName {
+                            name,
+                            dec,
+                            prefix: *prefix,
+                        });
+                    }
+                }
+            }
+            ExprKind::Binary { op, left, right } => {
+                self.expr(left)?;
+                self.expr(right)?;
+                self.emit(Op::Binary(*op));
+            }
+            ExprKind::Logical { op, left, right } => {
+                use aji_ast::ast::LogicalOp;
+                self.expr(left)?;
+                let j = self.emit(match op {
+                    LogicalOp::And => Op::JumpFalsyKeep(0),
+                    LogicalOp::Or => Op::JumpTruthyKeep(0),
+                    LogicalOp::Nullish => Op::JumpNotNullishKeep(0),
+                });
+                self.emit(Op::Pop);
+                self.expr(right)?;
+                let at = self.here();
+                self.patch(j, at);
+            }
+            ExprKind::Assign { op, target, value } => self.assign(*op, target, value)?,
+            ExprKind::Cond { test, cons, alt } => {
+                self.expr(test)?;
+                let j_alt = self.emit(Op::JumpIfFalse(0));
+                self.expr(cons)?;
+                let j_end = self.emit(Op::Jump(0));
+                let at = self.here();
+                self.patch(j_alt, at);
+                self.expr(alt)?;
+                let at = self.here();
+                self.patch(j_end, at);
+            }
+            ExprKind::Call {
+                callee,
+                args,
+                optional,
+            } => self.call(e, callee, args, *optional)?,
+            ExprKind::New { callee, args } => {
+                self.expr(callee)?;
+                let argc = self.args(args)?;
+                let span = self.span(e.span)?;
+                self.emit(Op::New { argc, span });
+            }
+            ExprKind::Member {
+                obj,
+                prop,
+                optional,
+            } => {
+                if *optional {
+                    return Err(Bail("optional member"));
+                }
+                self.expr(obj)?;
+                match prop {
+                    MemberProp::Static(name) => {
+                        let name = self.name(name)?;
+                        let ic = self.fresh_ic()?;
+                        self.emit(Op::GetProp { name, ic });
+                    }
+                    MemberProp::Computed(k) => {
+                        self.expr(k)?;
+                        let span = self.span(e.span)?;
+                        self.emit(Op::GetPropDyn { span });
+                    }
+                }
+            }
+            ExprKind::Seq(exprs) => {
+                if exprs.is_empty() {
+                    self.push_const(Const::Undefined)?;
+                } else {
+                    for (i, x) in exprs.iter().enumerate() {
+                        if i > 0 {
+                            self.emit(Op::Pop);
+                        }
+                        self.expr(x)?;
+                    }
+                }
+            }
+            ExprKind::Paren(inner) => self.expr(inner)?,
+        }
+        Ok(())
+    }
+
+    /// Identifier read, mirroring `eval_ident`: special names first (even
+    /// when shadowed), then the frame slot, else the scope chain.
+    fn ident_read(&mut self, name: &str) -> Result<(), Bail> {
+        match name {
+            "undefined" => self.push_const(Const::Undefined)?,
+            "NaN" => self.push_const(Const::Num(f64::NAN))?,
+            "Infinity" => self.push_const(Const::Num(f64::INFINITY))?,
+            "globalThis" | "global" => {
+                self.emit(Op::LoadGlobal);
+            }
+            _ => match self.resolve(name) {
+                Some(slot) => {
+                    self.emit(Op::LoadLocal(slot));
+                }
+                None => {
+                    let name = self.name(name)?;
+                    self.emit(Op::LoadName(name));
+                }
+            },
+        }
+        Ok(())
+    }
+
+    /// Identifier write (peeks the stored value as the result). Special
+    /// names are *not* special on the write path — `undefined = v` goes
+    /// through the scope chain like any other name.
+    fn ident_write(&mut self, name: &str) -> Result<(), Bail> {
+        match self.resolve(name) {
+            Some(slot) => {
+                self.emit(Op::StoreLocal(slot));
+            }
+            None => {
+                let name = self.name(name)?;
+                self.emit(Op::StoreName(name));
+            }
+        }
+        Ok(())
+    }
+
+    fn unary(&mut self, op: UnaryOp, operand: &Expr) -> Result<(), Bail> {
+        match op {
+            UnaryOp::TypeOf => {
+                // `typeof unbound` is `"undefined"`, not a throw — the
+                // tree-walker checks bindings before evaluating. Bound
+                // names fall through to the normal (stepping) read.
+                if let ExprKind::Ident(name) = &operand.unparen().kind {
+                    if !special_ident(name) && self.resolve(name).is_none() {
+                        let name = self.name(name)?;
+                        let guard = self.emit(Op::TypeOfName { name, end: 0 });
+                        self.expr(operand)?;
+                        self.emit(Op::TypeOf);
+                        let at = self.here();
+                        self.patch(guard, at);
+                        return Ok(());
+                    }
+                }
+                self.expr(operand)?;
+                self.emit(Op::TypeOf);
+            }
+            UnaryOp::Delete => return Err(Bail("delete")),
+            UnaryOp::Neg | UnaryOp::Pos | UnaryOp::Not | UnaryOp::BitNot | UnaryOp::Void => {
+                self.expr(operand)?;
+                self.emit(Op::Unary(op));
+            }
+        }
+        Ok(())
+    }
+
+    fn assign(&mut self, op: AssignOp, target: &AssignTarget, value: &Expr) -> Result<(), Bail> {
+        if op == AssignOp::Assign {
+            self.expr(value)?;
+            return match target {
+                AssignTarget::Ident { name, .. } => self.ident_write(name),
+                AssignTarget::Member(m) => {
+                    let ExprKind::Member {
+                        obj,
+                        prop,
+                        optional,
+                    } = &m.unparen().kind
+                    else {
+                        return Err(Bail("member target shape"));
+                    };
+                    if *optional {
+                        return Err(Bail("optional member target"));
+                    }
+                    self.expr(obj)?;
+                    match prop {
+                        MemberProp::Static(name) => {
+                            let name = self.name(name)?;
+                            let ic = self.fresh_ic()?;
+                            self.emit(Op::SetProp { name, ic });
+                        }
+                        MemberProp::Computed(k) => {
+                            self.expr(k)?;
+                            // Dynamic-write events locate the *target*
+                            // expression (pre-unparen), not the whole
+                            // assignment.
+                            let span = self.span(m.span)?;
+                            self.emit(Op::SetPropDyn { span });
+                        }
+                    }
+                    Ok(())
+                }
+                AssignTarget::Pattern(_) => Err(Bail("destructuring assignment")),
+            };
+        }
+
+        // Compound assignment: the tree-walker re-evaluates the target as
+        // an expression (one step for the synthesized read) and only
+        // supports identifier targets without re-evaluating side effects.
+        let AssignTarget::Ident { name, .. } = target else {
+            return Err(Bail("compound member assignment"));
+        };
+        self.emit(Op::Step);
+        self.ident_read(name)?;
+        match op {
+            AssignOp::And | AssignOp::Or | AssignOp::Nullish => {
+                let j = self.emit(match op {
+                    AssignOp::And => Op::JumpFalsyKeep(0),
+                    AssignOp::Or => Op::JumpTruthyKeep(0),
+                    _ => Op::JumpNotNullishKeep(0),
+                });
+                self.emit(Op::Pop);
+                self.expr(value)?;
+                self.ident_write(name)?;
+                let at = self.here();
+                self.patch(j, at);
+            }
+            _ => {
+                let Some(bin) = op.binary_op() else {
+                    return Err(Bail("assignment operator"));
+                };
+                self.expr(value)?;
+                self.emit(Op::Binary(bin));
+                self.ident_write(name)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn args(&mut self, args: &[ExprOrSpread]) -> Result<u16, Bail> {
+        for a in args {
+            if a.spread {
+                return Err(Bail("spread argument"));
+            }
+            self.expr(&a.expr)?;
+        }
+        u16::try_from(args.len()).map_err(|_| Bail("call arity"))
+    }
+
+    fn call(
+        &mut self,
+        e: &Expr,
+        callee: &Expr,
+        args: &[ExprOrSpread],
+        optional: bool,
+    ) -> Result<(), Bail> {
+        if optional {
+            return Err(Bail("optional call"));
+        }
+        let cu = callee.unparen();
+        if let ExprKind::Ident(n) = &cu.kind {
+            if n == "super" {
+                return Err(Bail("super call"));
+            }
+            if n == "eval" {
+                // Only direct calls to the *global* eval are special, but
+                // that is a runtime question — bail on the name.
+                return Err(Bail("eval call"));
+            }
+        }
+        if let ExprKind::Member {
+            obj,
+            prop,
+            optional: member_opt,
+        } = &cu.kind
+        {
+            if *member_opt {
+                return Err(Bail("optional method call"));
+            }
+            if matches!(&obj.unparen().kind, ExprKind::Ident(n) if n == "super") {
+                return Err(Bail("super method call"));
+            }
+            // Method call: the callee's parens are skipped (`unparen`
+            // before evaluation), the base keeps its own.
+            self.expr(obj)?;
+            match prop {
+                MemberProp::Static(name) => {
+                    let name = self.name(name)?;
+                    let ic = self.fresh_ic()?;
+                    self.emit(Op::GetMethod { name, ic });
+                }
+                MemberProp::Computed(k) => {
+                    self.expr(k)?;
+                    let span = self.span(cu.span)?;
+                    self.emit(Op::GetMethodDyn { span });
+                }
+            }
+            let argc = self.args(args)?;
+            let span = self.span(e.span)?;
+            self.emit(Op::CallMethod { argc, span });
+            return Ok(());
+        }
+
+        // Plain call: the callee is evaluated as written, parens and all.
+        self.expr(callee)?;
+        let argc = self.args(args)?;
+        let span = self.span(e.span)?;
+        self.emit(Op::Call { argc, span });
+        Ok(())
+    }
+}
+
+// ---- peephole fusion ---------------------------------------------------
+
+/// Merges common op pairs into superinstructions and remaps jump targets.
+///
+/// A pair is never fused when its *second* op is a jump target (the
+/// jumper must be able to land on it alone). The *first* op of a pair may
+/// be a target: a jumper landing on the fused op executes both halves in
+/// order — exactly what it would have executed unfused. Fused step ops
+/// keep the step charge *before* the payload, so budget trips happen at
+/// the identical step index.
+fn fuse(ops: Vec<Op>) -> Vec<Op> {
+    use Op::*;
+    // First pass pairs single ops; second pass extends the fused
+    // `obj.prop` read (pairing against the *output* of pass one).
+    let ops = fuse_pass(ops, |a, b| match (a, b) {
+        (Step, LoadLocal(s)) => Some(StepLoadLocal(*s)),
+        (Step, Const(k)) => Some(StepConst(*k)),
+        (Step, LoadName(n)) => Some(StepLoadName(*n)),
+        (Step, Step) => Some(StepStep),
+        (StoreLocal(s), Pop) => Some(StoreLocalPop(*s)),
+        (SetProp { name, ic }, Pop) => Some(SetPropPop {
+            name: *name,
+            ic: *ic,
+        }),
+        _ => None,
+    });
+    fuse_pass(ops, |a, b| match (a, b) {
+        (StepLoadLocal(s), GetProp { name, ic }) => Some(StepLoadLocalGetProp {
+            slot: *s,
+            name: *name,
+            ic: *ic,
+        }),
+        _ => None,
+    })
+}
+
+/// One greedy left-to-right pairing pass: wherever `rule` maps two
+/// adjacent ops to a superinstruction and the second op is not a jump
+/// target, replace the pair, then remap every jump target into the new
+/// index space.
+fn fuse_pass(ops: Vec<Op>, rule: impl Fn(&Op, &Op) -> Option<Op>) -> Vec<Op> {
+    use Op::*;
+    let mut is_target = vec![false; ops.len() + 1];
+    for op in &ops {
+        match op {
+            Jump(t) | JumpIfFalse(t) | JumpTruthyKeep(t) | JumpFalsyKeep(t)
+            | JumpNotNullishKeep(t) => is_target[*t as usize] = true,
+            TypeOfName { end, .. } => is_target[*end as usize] = true,
+            _ => {}
+        }
+    }
+    // map[old index] → new index; interior (consumed) ops map to their
+    // fused op, which is never needed since they are never targets.
+    let mut map = vec![0u32; ops.len() + 1];
+    let mut out = Vec::with_capacity(ops.len());
+    let mut i = 0;
+    while i < ops.len() {
+        map[i] = out.len() as u32;
+        let fused = match ops.get(i + 1) {
+            Some(next) if !is_target[i + 1] => rule(&ops[i], next),
+            _ => None,
+        };
+        match fused {
+            Some(f) => {
+                map[i + 1] = out.len() as u32;
+                out.push(f);
+                i += 2;
+            }
+            None => {
+                out.push(ops[i].clone());
+                i += 1;
+            }
+        }
+    }
+    map[ops.len()] = out.len() as u32;
+    for op in &mut out {
+        match op {
+            Jump(t) | JumpIfFalse(t) | JumpTruthyKeep(t) | JumpFalsyKeep(t)
+            | JumpNotNullishKeep(t) => *t = map[*t as usize],
+            TypeOfName { end, .. } => *end = map[*end as usize],
+            _ => {}
+        }
+    }
+    out
+}
+
+// ---- var hoisting ------------------------------------------------------
+
+/// Collects `var` names exactly like the tree-walker's hoist pass (same
+/// traversal, no descent into nested functions), bailing on patterns the
+/// compiled subset cannot bind. Statement kinds the compiler rejects
+/// anyway bail here eagerly.
+fn collect_vars(stmts: &[Stmt], out: &mut Vec<String>) -> Result<(), Bail> {
+    for s in stmts {
+        collect_vars_stmt(s, out)?;
+    }
+    Ok(())
+}
+
+fn collect_vars_stmt(s: &Stmt, out: &mut Vec<String>) -> Result<(), Bail> {
+    match &s.kind {
+        StmtKind::VarDecl(d) if d.kind == VarKind::Var => {
+            collect_decl(d, out)?;
+        }
+        StmtKind::VarDecl(_) => {}
+        StmtKind::If { cons, alt, .. } => {
+            collect_vars_stmt(cons, out)?;
+            if let Some(alt) = alt {
+                collect_vars_stmt(alt, out)?;
+            }
+        }
+        StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => {
+            collect_vars_stmt(body, out)?;
+        }
+        StmtKind::For { init, body, .. } => {
+            if let Some(ForInit::VarDecl(d)) = init {
+                if d.kind == VarKind::Var {
+                    collect_decl(d, out)?;
+                }
+            }
+            collect_vars_stmt(body, out)?;
+        }
+        StmtKind::Block(stmts) => collect_vars(stmts, out)?,
+        StmtKind::ForIn { .. } => return Err(Bail("for-in")),
+        StmtKind::ForOf { .. } => return Err(Bail("for-of")),
+        StmtKind::Labeled { .. } => return Err(Bail("labeled statement")),
+        StmtKind::Switch { .. } => return Err(Bail("switch")),
+        StmtKind::Try { .. } => return Err(Bail("try")),
+        _ => {}
+    }
+    Ok(())
+}
+
+fn collect_decl(d: &VarDecl, out: &mut Vec<String>) -> Result<(), Bail> {
+    for decl in &d.decls {
+        match &decl.name.kind {
+            PatternKind::Ident(n) => out.push(n.clone()),
+            _ => return Err(Bail("destructuring declaration")),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,332 @@
+//! Stack-machine bytecode for the *aji* interpreter's forced-call hot path.
+//!
+//! The approximate interpreter spends almost all of its budget re-walking
+//! the same function bodies: the worklist forces every reachable closure,
+//! and each forced call tree-walks the AST from scratch. This crate
+//! compiles a [`aji_ast::ast::Function`] body **once** into a compact
+//! stack-machine [`Chunk`] — constant pool, interned property names,
+//! explicit jump targets — that the interpreter's VM executes instead.
+//!
+//! Two properties are load-bearing and non-negotiable:
+//!
+//! 1. **Exact observational parity.** A compiled function must produce the
+//!    same tracer event stream, the same step/budget accounting, and the
+//!    same values as the tree-walker — byte for byte. Every bytecode op
+//!    maps onto the tree-walker's evaluation order, including the
+//!    per-node `step()` charge ([`Op::Step`] is emitted exactly where
+//!    `eval_expr` / `exec_stmt` would have stepped).
+//! 2. **Whole-function bail.** Any construct whose compiled form cannot
+//!    be proven event-equivalent (nested closures, destructuring
+//!    assignment, `try`, `for..in`, spread, getters/setters, …) aborts
+//!    compilation of the *entire* function with a [`Bail`]; the
+//!    interpreter memoizes the bail and keeps tree-walking that function
+//!    forever. There is no partial compilation and no deopt machinery —
+//!    the tree-walker is the always-correct fallback.
+//!
+//! Locals with statically known bindings (identifier parameters, `var`s,
+//! block-scoped `let`/`const` with identifier patterns) are promoted to
+//! frame **slots** ([`Op::LoadLocal`] / [`Op::StoreLocal`]); everything
+//! else resolves through the scope chain at runtime exactly like the
+//! tree-walker ([`Op::LoadName`] / [`Op::StoreName`]). Property access
+//! sites each get an inline-cache index ([`Chunk::n_ics`]) that the VM
+//! uses for monomorphic shape → slot caching.
+
+#![warn(missing_docs)]
+
+use aji_ast::ast::{BinaryOp, UnaryOp};
+use aji_ast::Span;
+
+mod compile;
+
+pub use compile::compile_function;
+
+/// A constant-pool entry. Converted to an interpreter `Value` once at
+/// chunk-installation time; [`Op::Const`] then clones the pre-built value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Const {
+    /// `undefined` (also used for array holes and elided results).
+    Undefined,
+    /// `null`.
+    Null,
+    /// A boolean literal.
+    Bool(bool),
+    /// A numeric literal (also `NaN` / `Infinity` identifier reads).
+    Num(f64),
+    /// A string literal.
+    Str(String),
+}
+
+/// Why a function could not be compiled. Carries a static reason string
+/// for the `interp.vm_bails` diagnostics; the interpreter memoizes the
+/// bail per function and tree-walks instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bail(pub &'static str);
+
+impl std::fmt::Display for Bail {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bytecode bail: {}", self.0)
+    }
+}
+
+/// One bytecode instruction.
+///
+/// Index operands are typed indices into the owning [`Chunk`]'s pools:
+/// `u16` for constants / names / spans / templates / slots / loops / ICs,
+/// `u32` for jump targets (instruction indices). The compiler bails on
+/// pool overflow rather than widening.
+///
+/// Stack discipline notes (`peeks` = reads the top without popping, so
+/// the stored value remains the expression result, mirroring the
+/// tree-walker's `Ok(v)` returns):
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Charge one interpreter step (the tree-walker steps once per
+    /// `eval_expr` / `exec_stmt` entry; compiled code preserves the exact
+    /// count — budget trips happen at the same step index).
+    Step,
+    /// Push constant-pool entry `0`.
+    Const(u16),
+    /// Pop and discard the top of stack.
+    Pop,
+    /// Push a clone of frame slot `0`.
+    LoadLocal(u16),
+    /// Store the top of stack (peeked, not popped) into frame slot `0`.
+    StoreLocal(u16),
+    /// Reset frame slot `0` to `undefined` (block-entry `let` hoisting).
+    LocalUndef(u16),
+    /// Push the value of name `0` resolved through the scope chain —
+    /// exactly the tree-walker's identifier read, including the global
+    /// fallback and the approximate-mode proxy for unbound names.
+    LoadName(u16),
+    /// Assign the top of stack (peeked) to name `0` via the scope chain
+    /// (nearest binding, else implicit global).
+    StoreName(u16),
+    /// Push the global object (`globalThis` / `global` reads).
+    LoadGlobal,
+    /// Push the `this` binding of the current scope chain.
+    LoadThis,
+    /// Pop a value, push its `typeof` string.
+    TypeOf,
+    /// `typeof ident` unbound guard: if name `name` is neither bound in
+    /// the scope chain nor an own property of the global object, push
+    /// `"undefined"` and jump to `end` (skipping the operand read that
+    /// would otherwise throw / proxy). Bound names fall through to the
+    /// compiled operand read.
+    TypeOfName {
+        /// Name-pool index of the identifier operand.
+        name: u16,
+        /// Jump target past the fallback read.
+        end: u32,
+    },
+    /// `++` / `--` on a slot-resolved identifier: pop the old value,
+    /// coerce to number, store old ± 1, push the prefix- or
+    /// postfix-appropriate result.
+    UpdateLocal {
+        /// Frame slot of the identifier.
+        slot: u16,
+        /// `true` for `--`.
+        dec: bool,
+        /// `true` pushes the new value, `false` the old (coerced) value.
+        prefix: bool,
+    },
+    /// `++` / `--` on a scope-resolved identifier (see [`Op::UpdateLocal`]).
+    UpdateName {
+        /// Name-pool index of the identifier.
+        name: u16,
+        /// `true` for `--`.
+        dec: bool,
+        /// `true` pushes the new value, `false` the old (coerced) value.
+        prefix: bool,
+    },
+    /// Pop a value, push the result of the simple unary operator (only
+    /// `-`, `+`, `!`, `~`, `void` — `typeof` and `delete` compile to
+    /// dedicated ops or bail).
+    Unary(UnaryOp),
+    /// Pop right then left, push the binary result (may call user code
+    /// via valueOf/toString coercion, exactly like the tree-walker).
+    Binary(BinaryOp),
+    /// Pop a value, push its string conversion (template interpolation).
+    ToStr,
+    /// Pop `exprs` converted strings, interleave with the quasi pool
+    /// entry `tpl`, push the joined string.
+    Template {
+        /// Template-pool index of the quasi strings.
+        tpl: u16,
+        /// Number of interpolated expressions on the stack.
+        exprs: u16,
+    },
+    /// Unconditional jump to instruction `0`.
+    Jump(u32),
+    /// Pop a value; jump to `0` if it is falsy.
+    JumpIfFalse(u32),
+    /// Peek the top; jump to `0` if truthy, keeping it as the result
+    /// (`||` short-circuit).
+    JumpTruthyKeep(u32),
+    /// Peek the top; jump to `0` if falsy, keeping it (`&&`).
+    JumpFalsyKeep(u32),
+    /// Peek the top; jump to `0` if it is neither `null` nor
+    /// `undefined`, keeping it (`??`).
+    JumpNotNullishKeep(u32),
+    /// Pop `n` elements, allocate an array (tracer `on_alloc` at span
+    /// `span`), push it.
+    MakeArray {
+        /// Element count.
+        n: u16,
+        /// Span-pool index for the allocation site.
+        span: u16,
+    },
+    /// Allocate an empty plain object (tracer `on_alloc`), push it.
+    MakeObject {
+        /// Span-pool index for the allocation site.
+        span: u16,
+    },
+    /// Pop a value, peek the object under it, set literal property
+    /// `name` (tracer `on_static_write` then a direct heap store — the
+    /// object is fresh, no setters can exist).
+    SetLitProp {
+        /// Name-pool index of the static key.
+        name: u16,
+    },
+    /// Pop the base, push `base.name` — through the inline cache `ic`
+    /// on hit, the generic property read on miss.
+    GetProp {
+        /// Name-pool index of the property.
+        name: u16,
+        /// Inline-cache index.
+        ic: u16,
+    },
+    /// Pop the key then the base, push `base[key]` (dynamic-read tracer
+    /// events; `span` locates the member expression).
+    GetPropDyn {
+        /// Span-pool index of the member expression.
+        span: u16,
+    },
+    /// Pop the base, peek the value under it, write `base.name = value`
+    /// (tracer `on_static_write`; inline cache `ic` on the heap store).
+    SetProp {
+        /// Name-pool index of the property.
+        name: u16,
+        /// Inline-cache index.
+        ic: u16,
+    },
+    /// Pop the key then the base, peek the value, write
+    /// `base[key] = value` (dynamic-write tracer events).
+    SetPropDyn {
+        /// Span-pool index of the assignment target expression.
+        span: u16,
+    },
+    /// Peek the base, push `base.name` for an immediate method call
+    /// (keeps the base on the stack as the receiver).
+    GetMethod {
+        /// Name-pool index of the method.
+        name: u16,
+        /// Inline-cache index.
+        ic: u16,
+    },
+    /// Pop the key, peek the base, push `base[key]` for a method call.
+    GetMethodDyn {
+        /// Span-pool index of the callee member expression.
+        span: u16,
+    },
+    /// Pop `argc` arguments then the callee; call with `undefined`
+    /// receiver at call-site span `span`; push the result.
+    Call {
+        /// Argument count.
+        argc: u16,
+        /// Span-pool index of the call expression.
+        span: u16,
+    },
+    /// Pop `argc` arguments, the callee, then the receiver; call;
+    /// push the result.
+    CallMethod {
+        /// Argument count.
+        argc: u16,
+        /// Span-pool index of the call expression.
+        span: u16,
+    },
+    /// Pop `argc` arguments then the constructor; construct; push the
+    /// result.
+    New {
+        /// Argument count.
+        argc: u16,
+        /// Span-pool index of the `new` expression.
+        span: u16,
+    },
+    /// Reset loop-iteration counter `0` and clear any pending label
+    /// (loop entry).
+    LoopEnter(u16),
+    /// Increment loop-iteration counter `0`; trip the loop budget if it
+    /// exceeds the configured maximum (checked *before* the test
+    /// expression, like the tree-walker).
+    IterCheck(u16),
+    /// Pop a value and throw it as a JS exception.
+    Throw,
+    /// Pop the return value and leave the function.
+    Return,
+    /// Leave the function returning `undefined` (also emitted at the end
+    /// of every chunk, and for `break`/`continue` that exit the body).
+    ReturnUndef,
+
+    // ---- superinstructions (emitted only by the peephole pass) ----
+    /// Fused [`Op::Step`] + [`Op::LoadLocal`]: semantics are exactly the
+    /// two ops in sequence — a step-budget trip happens before the load.
+    StepLoadLocal(u16),
+    /// Fused [`Op::Step`] + [`Op::Const`].
+    StepConst(u16),
+    /// Fused [`Op::Step`] + [`Op::LoadName`].
+    StepLoadName(u16),
+    /// Fused [`Op::StoreLocal`] + [`Op::Pop`]: pop the top of stack into
+    /// frame slot `0`.
+    StoreLocalPop(u16),
+    /// Fused [`Op::SetProp`] + [`Op::Pop`]: pop the base then the value
+    /// (instead of peeking the value and discarding it afterwards).
+    SetPropPop {
+        /// Name-pool index of the property.
+        name: u16,
+        /// Inline-cache index.
+        ic: u16,
+    },
+    /// Fused [`Op::Step`] + [`Op::Step`]: two full charge-and-check
+    /// cycles in sequence (a trip on the first returns before the
+    /// second, at the identical step index as unfused code).
+    StepStep,
+    /// Fused [`Op::StepLoadLocal`] + [`Op::GetProp`]: the complete
+    /// `obj.prop` read on a slot-resolved base — step, push slot `slot`,
+    /// then property read through inline cache `ic`.
+    StepLoadLocalGetProp {
+        /// Frame slot of the base object.
+        slot: u16,
+        /// Name-pool index of the property.
+        name: u16,
+        /// Inline-cache index.
+        ic: u16,
+    },
+}
+
+/// A compiled function body plus its pools. Owned by the interpreter's
+/// per-function code cache; immutable after compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chunk {
+    /// Instruction stream. Jump targets index into this vector.
+    pub ops: Vec<Op>,
+    /// Constant pool (deduplicated; numbers keyed by bit pattern).
+    pub consts: Vec<Const>,
+    /// Interned identifier / property-name pool.
+    pub names: Vec<String>,
+    /// Source spans for ops that need a runtime location (allocation
+    /// sites, call sites, dynamic member accesses).
+    pub spans: Vec<Span>,
+    /// Template-literal quasi strings, one entry per template site.
+    pub templates: Vec<Vec<String>>,
+    /// Frame-entry slot initialization: `(slot, name)` pairs copied from
+    /// the prologue-populated scope (parameters, `arguments`-adjacent
+    /// bindings) — a name the prologue bound seeds the slot, anything
+    /// else starts `undefined` (matching `var` hoisting).
+    pub entry: Vec<(u16, u16)>,
+    /// Number of frame slots.
+    pub n_slots: u16,
+    /// Number of loop-iteration counters.
+    pub n_loops: u16,
+    /// Number of inline-cache sites.
+    pub n_ics: u16,
+}

@@ -204,7 +204,7 @@ impl Interp {
         }
     }
 
-    fn eval_ident(&mut self, name: &str, scope: &ScopeRef) -> Result<Value, JsError> {
+    pub(crate) fn eval_ident(&mut self, name: &str, scope: &ScopeRef) -> Result<Value, JsError> {
         match name {
             "undefined" => return Ok(Value::Undefined),
             "NaN" => return Ok(Value::Num(f64::NAN)),
@@ -372,11 +372,17 @@ impl Interp {
             return Ok(Value::Bool(true));
         }
         let v = self.eval_expr(expr, scope)?;
+        self.unary_value(op, &v)
+    }
+
+    /// Applies a simple (non-`typeof`, non-`delete`) unary operator —
+    /// shared by the tree-walker and the bytecode VM.
+    pub(crate) fn unary_value(&mut self, op: UnaryOp, v: &Value) -> Result<Value, JsError> {
         Ok(match op {
-            UnaryOp::Neg => Value::Num(-self.to_number_value(&v)?),
-            UnaryOp::Pos => Value::Num(self.to_number_value(&v)?),
-            UnaryOp::Not => Value::Bool(!self.truthy(&v)),
-            UnaryOp::BitNot => Value::Num(!to_int32(self.to_number_value(&v)?) as f64),
+            UnaryOp::Neg => Value::Num(-self.to_number_value(v)?),
+            UnaryOp::Pos => Value::Num(self.to_number_value(v)?),
+            UnaryOp::Not => Value::Bool(!self.truthy(v)),
+            UnaryOp::BitNot => Value::Num(!to_int32(self.to_number_value(v)?) as f64),
             UnaryOp::Void => Value::Undefined,
             UnaryOp::TypeOf | UnaryOp::Delete => unreachable!(),
         })
@@ -616,29 +622,64 @@ impl Interp {
             MemberProp::Computed(kexpr) => {
                 let kv = self.eval_expr(kexpr, scope)?;
                 let op_loc = self.static_loc(member.span);
-                if self.heap.is_proxy(&kv) {
-                    // Unknown key: in approx mode the result is unknown.
-                    if self.opts.approx {
-                        return Ok(self.proxy_value());
-                    }
-                }
-                let key = self.to_string_value(&kv);
-                if self.heap.is_proxy(base) {
-                    // §6 extension: unknown base, known key.
-                    if let Some(op_loc) = op_loc {
-                        if matches!(kv, Value::Str(_)) {
-                            self.tracer.on_proxy_base_read(op_loc, &key);
-                        }
-                    }
-                }
-                let result = self.get_property(base.clone(), &key, op_loc)?;
-                if let Some(op_loc) = op_loc {
-                    let result_loc = self.loc_of(&result);
-                    self.tracer.on_dynamic_read(op_loc, &result, result_loc);
-                }
-                Ok(result)
+                self.computed_member_read(base, kv, op_loc)
             }
         }
+    }
+
+    /// Reads `base[kv]` once the key expression has been evaluated —
+    /// shared by the tree-walker and the bytecode VM. Emits the dynamic
+    /// read hint (and the proxy-base hint of the §6 extension) when the
+    /// access has a static location.
+    pub(crate) fn computed_member_read(
+        &mut self,
+        base: &Value,
+        kv: Value,
+        op_loc: Option<aji_ast::Loc>,
+    ) -> Result<Value, JsError> {
+        if self.heap.is_proxy(&kv) {
+            // Unknown key: in approx mode the result is unknown.
+            if self.opts.approx {
+                return Ok(self.proxy_value());
+            }
+        }
+        let key = self.to_string_value(&kv);
+        if self.heap.is_proxy(base) {
+            // §6 extension: unknown base, known key.
+            if let Some(op_loc) = op_loc {
+                if matches!(kv, Value::Str(_)) {
+                    self.tracer.on_proxy_base_read(op_loc, &key);
+                }
+            }
+        }
+        let result = self.get_property(base.clone(), &key, op_loc)?;
+        if let Some(op_loc) = op_loc {
+            let result_loc = self.loc_of(&result);
+            self.tracer.on_dynamic_read(op_loc, &result, result_loc);
+        }
+        Ok(result)
+    }
+
+    /// Writes `base[kv] = v` once the key expression has been evaluated —
+    /// shared by the tree-walker and the bytecode VM. Proxy keys skip the
+    /// write (and the hint) entirely.
+    pub(crate) fn computed_member_write(
+        &mut self,
+        base: &Value,
+        kv: Value,
+        v: Value,
+        op_loc: Option<aji_ast::Loc>,
+    ) -> Result<(), JsError> {
+        if self.heap.is_proxy(&kv) {
+            // Unknown key: skip the write (and the hint).
+            return Ok(());
+        }
+        let key = self.to_string_value(&kv);
+        let obj_loc = self.loc_of(base);
+        let val_loc = self.loc_of(&v);
+        self.tracer
+            .on_dynamic_write(op_loc, obj_loc, &key, val_loc, &v);
+        self.set_property(base, &key, v)
     }
 
     /// Assigns `v` to an assignment target.
@@ -682,17 +723,8 @@ impl Interp {
                     }
                     MemberProp::Computed(kexpr) => {
                         let kv = self.eval_expr(kexpr, scope)?;
-                        if self.heap.is_proxy(&kv) {
-                            // Unknown key: skip the write (and the hint).
-                            return Ok(());
-                        }
-                        let key = self.to_string_value(&kv);
                         let op_loc = self.static_loc(target.span);
-                        let obj_loc = self.loc_of(&base);
-                        let val_loc = self.loc_of(&v);
-                        self.tracer
-                            .on_dynamic_write(op_loc, obj_loc, &key, val_loc, &v);
-                        self.set_property(&base, &key, v)
+                        self.computed_member_write(&base, kv, v, op_loc)
                     }
                 }
             }

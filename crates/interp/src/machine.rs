@@ -33,6 +33,11 @@ pub struct InterpOptions {
     /// Maximum iterations of any single loop execution (the paper's
     /// long-running-loop abort).
     pub max_loop_iters: u64,
+    /// Execute compiled-subset function bodies on the bytecode VM
+    /// (`aji-bytecode`) instead of tree-walking them. Observationally
+    /// identical — same steps, tracer events and budgets — just faster;
+    /// disable to force the tree-walker (differential testing).
+    pub use_vm: bool,
 }
 
 impl Default for InterpOptions {
@@ -42,6 +47,7 @@ impl Default for InterpOptions {
             max_steps: 20_000_000,
             max_stack: 64,
             max_loop_iters: 500_000,
+            use_vm: true,
         }
     }
 }
@@ -55,6 +61,7 @@ impl InterpOptions {
             max_steps: 5_000_000,
             max_stack: 48,
             max_loop_iters: 10_000,
+            use_vm: true,
         }
     }
 }
@@ -122,6 +129,15 @@ pub struct Interp {
     pub(crate) current_call_site: Option<Loc>,
     pub(crate) pending_new_loc: Option<Loc>,
     pub(crate) pending_label: Option<String>,
+    /// Whether the current run has already recorded a budget exhaustion.
+    /// One exhausted run counts exactly once in `obs.budget_exhaustions`,
+    /// however many budget errors surface while it unwinds (`finally`
+    /// blocks keep executing — and stepping — after an uncatchable
+    /// `Budget` error).
+    pub(crate) budget_tripped: bool,
+    /// Per-definition bytecode cache: `Some` holds the compiled chunk,
+    /// `None` memoizes a compiler bail (the definition tree-walks forever).
+    pub(crate) vm_cache: HashMap<aji_ast::NodeId, Option<Rc<crate::vm::VmCode>>>,
 }
 
 impl Interp {
@@ -215,6 +231,8 @@ impl Interp {
             current_call_site: None,
             pending_new_loc: None,
             pending_label: None,
+            budget_tripped: false,
+            vm_cache: HashMap::new(),
         };
         builtins::install(&mut interp);
         interp
@@ -244,6 +262,20 @@ impl Interp {
     /// worklist item so one long-running module cannot starve the rest).
     pub fn reset_steps(&mut self) {
         self.steps = 0;
+        self.budget_tripped = false;
+    }
+
+    /// Raises a budget error, counting the exhaustion once per run: the
+    /// first trip increments `obs.budget_exhaustions`; repeat trips while
+    /// the same run unwinds (or keeps stepping through `finally` blocks)
+    /// reuse the flag and stay silent. [`Interp::reset_steps`] and the
+    /// public entry points arm the flag again.
+    pub(crate) fn trip_budget(&mut self, kind: BudgetKind) -> JsError {
+        if !self.budget_tripped {
+            self.budget_tripped = true;
+            self.obs.budget_exhaustions.inc();
+        }
+        JsError::Budget(kind)
     }
 
     /// Creates the receiver wrapper of §3: an object that behaves like
@@ -276,12 +308,12 @@ impl Interp {
         }
     }
 
+    #[inline]
     pub(crate) fn step(&mut self) -> Result<(), JsError> {
         self.steps += 1;
         self.obs.steps.inc();
         if self.steps > self.opts.max_steps {
-            self.obs.budget_exhaustions.inc();
-            Err(JsError::Budget(BudgetKind::Steps))
+            Err(self.trip_budget(BudgetKind::Steps))
         } else {
             Ok(())
         }
@@ -307,6 +339,7 @@ impl Interp {
     /// Returns any uncaught exception, budget exhaustion or missing-module
     /// error.
     pub fn run_module(&mut self, path: &str) -> Result<Value, JsError> {
+        self.budget_tripped = false;
         let Some(idx) = self.paths.iter().position(|p| p == path) else {
             return Err(self.throw_error("Error", format!("Cannot find module '{path}'")));
         };
@@ -553,6 +586,7 @@ impl Interp {
         this: Value,
         args: &[Value],
     ) -> Result<Value, JsError> {
+        self.budget_tripped = false;
         self.obs.forced_calls.inc();
         self.call_value(callee, this, args, None)
     }
@@ -587,8 +621,7 @@ impl Interp {
                 self.depth += 1;
                 if self.depth > self.opts.max_stack {
                     self.depth -= 1;
-                    self.obs.budget_exhaustions.inc();
-                    return Err(JsError::Budget(BudgetKind::Stack));
+                    return Err(self.trip_budget(BudgetKind::Stack));
                 }
                 let saved_site = self.current_call_site;
                 self.current_call_site = call_site;
@@ -623,8 +656,7 @@ impl Interp {
         self.depth += 1;
         if self.depth > self.opts.max_stack {
             self.depth -= 1;
-            self.obs.budget_exhaustions.inc();
-            return Err(JsError::Budget(BudgetKind::Stack));
+            return Err(self.trip_budget(BudgetKind::Stack));
         }
         self.obs.calls.inc();
         let result = self.call_closure_inner(fobj, data, this, args, call_site);
@@ -706,6 +738,17 @@ impl Interp {
             let arr = self.heap.alloc(ObjKind::Array(extra));
             self.heap.get_mut(arr).proto = Some(self.protos.array);
             self.bind_pattern(rest, Value::Obj(arr), &scope, true)?;
+        }
+
+        // Hot path: run the body on the bytecode VM when it compiles.
+        // The compiled subset skips `hoist` — its effects (pre-declaring
+        // `var`/`let` names) are folded into the chunk's slot layout, and
+        // functions whose hoist would be observable (nested function or
+        // class declarations) bail out of compilation.
+        if self.opts.use_vm {
+            if let Some(code) = self.vm_code(&def) {
+                return self.run_vm(&code, &scope);
+            }
         }
 
         match &def.body {

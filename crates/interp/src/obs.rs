@@ -26,6 +26,14 @@ pub struct InterpObs {
     pub builtin_dispatches: Counter,
     /// Budget exhaustions (step, stack or loop budget hit).
     pub budget_exhaustions: Counter,
+    /// Bytecode inline-cache hits (property get/set/member-call sites).
+    pub ic_hits: Counter,
+    /// Bytecode inline-cache misses (generic path taken, cache patched).
+    pub ic_misses: Counter,
+    /// Function bodies compiled to bytecode (once per definition).
+    pub vm_compiles: Counter,
+    /// Function bodies rejected by the bytecode compiler (tree-walked).
+    pub vm_bails: Counter,
 }
 
 impl InterpObs {
@@ -39,6 +47,10 @@ impl InterpObs {
             proxy_ops: counter("interp.proxy_ops"),
             builtin_dispatches: counter("interp.builtin_dispatches"),
             budget_exhaustions: counter("interp.budget_exhaustions"),
+            ic_hits: counter("interp.ic_hits"),
+            ic_misses: counter("interp.ic_misses"),
+            vm_compiles: counter("interp.vm_compiles"),
+            vm_bails: counter("interp.vm_bails"),
         }
     }
 }

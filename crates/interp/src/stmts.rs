@@ -357,8 +357,7 @@ impl Interp {
         loop {
             iters += 1;
             if iters > self.opts.max_loop_iters {
-                self.obs.budget_exhaustions.inc();
-                return Err(JsError::Budget(BudgetKind::Loop));
+                return Err(self.trip_budget(BudgetKind::Loop));
             }
             let (body, body_scope) = match step(self, scope)? {
                 LoopStep::Done => return Ok(Flow::Normal),

@@ -1,0 +1,504 @@
+//! Bytecode VM for the forced-call hot path.
+//!
+//! [`Interp::vm_code`] compiles a function body once (memoizing both
+//! successes and bails per definition id) and [`Interp::run_vm`] executes
+//! the chunk against the same scope the tree-walker would have used. The
+//! shared prologue in `call_closure_inner` — tracer `on_call`, parameter
+//! and rest binding, `arguments`, `super` plumbing — runs before either
+//! engine, so the VM only replaces the body walk.
+//!
+//! Parity contract: for every compiled function the VM charges the same
+//! steps, emits the same tracer events, trips the same budgets at the
+//! same points, and computes the same values as the tree-walker. The
+//! compiler (`aji-bytecode`) guarantees this structurally by bailing on
+//! anything outside the proven subset; the VM keeps it by routing every
+//! observable operation through the same `Interp` methods the tree-walker
+//! uses (`step`, `eval_ident`, `eval_binary`, `call_value`, …).
+//!
+//! The only new machinery is the monomorphic inline cache on property
+//! get / set / member-call sites: a per-site `(object id, entry index)`
+//! pair validated on every hit (key and data-ness re-checked, so heap
+//! mutation can never make a hit unsound) and patched on miss when the
+//! receiver is a plain object with an own data property. Hits replicate
+//! the generic path's effects exactly — an own data property on a plain
+//! object involves no getters, no proxy, and no tracer events.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use aji_ast::ast::Function;
+use aji_bytecode::{compile_function, Chunk, Const, Op};
+
+use crate::env::{self, ScopeRef};
+use crate::error::{BudgetKind, JsError};
+use crate::heap::{ObjKind, PropValue};
+use crate::machine::Interp;
+use crate::value::Value;
+
+/// One monomorphic inline-cache entry: the receiver's object id and the
+/// property's entry index in its `OrderedMap`. `obj == u32::MAX` marks an
+/// empty cache (object ids are sequential and never reach the sentinel).
+#[derive(Clone, Copy)]
+pub(crate) struct IcEntry {
+    obj: u32,
+    slot: u32,
+}
+
+const IC_EMPTY: IcEntry = IcEntry {
+    obj: u32::MAX,
+    slot: 0,
+};
+
+/// A compiled function body installed in the interpreter: the chunk plus
+/// pre-converted constants and the per-site inline caches. Shared via
+/// `Rc` by every closure over the same definition.
+pub(crate) struct VmCode {
+    chunk: Chunk,
+    consts: Vec<Value>,
+    ics: Vec<Cell<IcEntry>>,
+}
+
+/// Type-specialized fast path for `Op::Binary` on two numbers,
+/// replicating [`Interp::eval_binary`]'s numeric results exactly: the
+/// same IEEE-754 operations, the same `ToInt32`/`ToUint32` on bit ops,
+/// the same `NaN` behavior on comparisons. Operators whose Num × Num
+/// semantics involve anything beyond plain arithmetic (`in`,
+/// `instanceof`, loose equality) return `None` and take the generic
+/// path.
+fn num_binary(op: aji_ast::ast::BinaryOp, a: f64, b: f64) -> Option<Value> {
+    use aji_ast::ast::BinaryOp::*;
+    Some(match op {
+        Add => Value::Num(a + b),
+        Sub => Value::Num(a - b),
+        Mul => Value::Num(a * b),
+        Div => Value::Num(a / b),
+        Rem => Value::Num(a % b),
+        Exp => Value::Num(a.powf(b)),
+        EqStrict => Value::Bool(a == b),
+        NeqStrict => Value::Bool(a != b),
+        Lt => Value::Bool(a < b),
+        Le => Value::Bool(a <= b),
+        Gt => Value::Bool(a > b),
+        Ge => Value::Bool(a >= b),
+        Shl | Shr | UShr | BitAnd | BitOr | BitXor => {
+            let x = crate::convert::to_int32(a);
+            let shift = crate::convert::to_uint32(b) & 31;
+            Value::Num(match op {
+                Shl => (x << shift) as f64,
+                Shr => (x >> shift) as f64,
+                UShr => ((x as u32) >> shift) as f64,
+                BitAnd => (x & crate::convert::to_int32(b)) as f64,
+                BitOr => (x | crate::convert::to_int32(b)) as f64,
+                BitXor => (x ^ crate::convert::to_int32(b)) as f64,
+                _ => unreachable!(),
+            })
+        }
+        _ => return None,
+    })
+}
+
+impl Interp {
+    /// The compiled code for a function definition, compiling on first
+    /// request. Returns `None` (memoized) when the function bails out of
+    /// the compiled subset.
+    pub(crate) fn vm_code(&mut self, def: &Rc<Function>) -> Option<Rc<VmCode>> {
+        if let Some(cached) = self.vm_cache.get(&def.id) {
+            return cached.clone();
+        }
+        let compiled = {
+            let _span = aji_obs::span("vm-compile");
+            compile_function(def)
+        };
+        let entry = match compiled {
+            Ok(chunk) => {
+                self.obs.vm_compiles.inc();
+                let consts = chunk
+                    .consts
+                    .iter()
+                    .map(|c| match c {
+                        Const::Undefined => Value::Undefined,
+                        Const::Null => Value::Null,
+                        Const::Bool(b) => Value::Bool(*b),
+                        Const::Num(n) => Value::Num(*n),
+                        Const::Str(s) => Value::str(s),
+                    })
+                    .collect();
+                let ics = (0..chunk.n_ics).map(|_| Cell::new(IC_EMPTY)).collect();
+                Some(Rc::new(VmCode {
+                    chunk,
+                    consts,
+                    ics,
+                }))
+            }
+            Err(_) => {
+                self.obs.vm_bails.inc();
+                None
+            }
+        };
+        self.vm_cache.insert(def.id, entry.clone());
+        entry
+    }
+
+    /// Executes a compiled function body in `scope` (the function scope
+    /// the shared prologue populated). Returns the function's return
+    /// value; JS exceptions and budget errors propagate as `Err` exactly
+    /// like the tree-walker's.
+    pub(crate) fn run_vm(&mut self, code: &VmCode, scope: &ScopeRef) -> Result<Value, JsError> {
+        let chunk = &code.chunk;
+        let mut slots: Vec<Value> = vec![Value::Undefined; chunk.n_slots as usize];
+        {
+            // Seed parameter/var slots from the prologue-bound scope: a
+            // bound name carries its value, everything else hoists to
+            // `undefined`.
+            let sb = scope.borrow();
+            for &(slot, name) in &chunk.entry {
+                if let Some(v) = sb.get_own(&chunk.names[name as usize]) {
+                    slots[slot as usize] = v;
+                }
+            }
+        }
+        let mut iters = vec![0u64; chunk.n_loops as usize];
+        let mut stack: Vec<Value> = Vec::with_capacity(16);
+        let mut pc = 0usize;
+        while let Some(op) = chunk.ops.get(pc) {
+            pc += 1;
+            match op {
+                Op::Step => self.step()?,
+                Op::Const(i) => stack.push(code.consts[*i as usize].clone()),
+                Op::Pop => {
+                    stack.pop();
+                }
+                Op::LoadLocal(i) => stack.push(slots[*i as usize].clone()),
+                Op::StoreLocal(i) => {
+                    slots[*i as usize] = stack.last().expect("vm stack").clone();
+                }
+                Op::LocalUndef(i) => slots[*i as usize] = Value::Undefined,
+                Op::LoadName(i) => {
+                    let v = self.eval_ident(&chunk.names[*i as usize], scope)?;
+                    stack.push(v);
+                }
+                Op::StoreName(i) => {
+                    let v = stack.last().expect("vm stack").clone();
+                    env::assign(scope, &chunk.names[*i as usize], v);
+                }
+                Op::LoadGlobal => stack.push(self.global_object()),
+                Op::LoadThis => stack.push(env::this_value(scope)),
+                Op::TypeOf => {
+                    let v = stack.pop().expect("vm stack");
+                    let t = self.type_of(&v);
+                    stack.push(Value::str(t));
+                }
+                Op::TypeOfName { name, end } => {
+                    let n = &chunk.names[*name as usize];
+                    if env::lookup(scope, n).is_none()
+                        && self.heap.own_prop(self.global_obj, n).is_none()
+                    {
+                        stack.push(Value::str("undefined"));
+                        pc = *end as usize;
+                    }
+                }
+                Op::UpdateLocal { slot, dec, prefix } => {
+                    let old = stack.pop().expect("vm stack");
+                    let old_n = self.to_number_value(&old)?;
+                    let new_n = if *dec { old_n - 1.0 } else { old_n + 1.0 };
+                    slots[*slot as usize] = Value::Num(new_n);
+                    stack.push(Value::Num(if *prefix { new_n } else { old_n }));
+                }
+                Op::UpdateName { name, dec, prefix } => {
+                    let old = stack.pop().expect("vm stack");
+                    let old_n = self.to_number_value(&old)?;
+                    let new_n = if *dec { old_n - 1.0 } else { old_n + 1.0 };
+                    env::assign(scope, &chunk.names[*name as usize], Value::Num(new_n));
+                    stack.push(Value::Num(if *prefix { new_n } else { old_n }));
+                }
+                Op::Unary(uop) => {
+                    let v = stack.pop().expect("vm stack");
+                    let r = self.unary_value(*uop, &v)?;
+                    stack.push(r);
+                }
+                Op::Binary(bop) => {
+                    let r = stack.pop().expect("vm stack");
+                    let l = stack.pop().expect("vm stack");
+                    let v = if let (Value::Num(a), Value::Num(b)) = (&l, &r) {
+                        match num_binary(*bop, *a, *b) {
+                            Some(v) => v,
+                            None => self.eval_binary(*bop, l, r)?,
+                        }
+                    } else {
+                        self.eval_binary(*bop, l, r)?
+                    };
+                    stack.push(v);
+                }
+                Op::ToStr => {
+                    let v = stack.pop().expect("vm stack");
+                    let s = self.to_string_value(&v);
+                    stack.push(Value::from(s));
+                }
+                Op::Template { tpl, exprs } => {
+                    let parts = stack.split_off(stack.len() - *exprs as usize);
+                    let quasis = &chunk.templates[*tpl as usize];
+                    let mut out = String::new();
+                    for (i, q) in quasis.iter().enumerate() {
+                        out.push_str(q);
+                        if let Some(Value::Str(s)) = parts.get(i) {
+                            out.push_str(s);
+                        }
+                    }
+                    stack.push(Value::from(out));
+                }
+                Op::Jump(t) => pc = *t as usize,
+                Op::JumpIfFalse(t) => {
+                    let v = stack.pop().expect("vm stack");
+                    if !self.truthy(&v) {
+                        pc = *t as usize;
+                    }
+                }
+                Op::JumpTruthyKeep(t) => {
+                    let keep = self.truthy(stack.last().expect("vm stack"));
+                    if keep {
+                        pc = *t as usize;
+                    }
+                }
+                Op::JumpFalsyKeep(t) => {
+                    let keep = !self.truthy(stack.last().expect("vm stack"));
+                    if keep {
+                        pc = *t as usize;
+                    }
+                }
+                Op::JumpNotNullishKeep(t) => {
+                    if !stack.last().expect("vm stack").is_nullish() {
+                        pc = *t as usize;
+                    }
+                }
+                Op::MakeArray { n, span } => {
+                    let elems = stack.split_off(stack.len() - *n as usize);
+                    let loc = self.static_loc(chunk.spans[*span as usize]);
+                    let arr = self.heap.alloc(ObjKind::Array(elems));
+                    self.heap.get_mut(arr).proto = Some(self.protos.array);
+                    self.heap.get_mut(arr).born_at = loc;
+                    self.tracer.on_alloc(loc);
+                    stack.push(Value::Obj(arr));
+                }
+                Op::MakeObject { span } => {
+                    let loc = self.static_loc(chunk.spans[*span as usize]);
+                    let obj = self.heap.alloc_plain(Some(self.protos.object), loc);
+                    self.tracer.on_alloc(loc);
+                    stack.push(Value::Obj(obj));
+                }
+                Op::SetLitProp { name } => {
+                    let v = stack.pop().expect("vm stack");
+                    let objv = stack.last().expect("vm stack").clone();
+                    let name = &chunk.names[*name as usize];
+                    self.tracer.on_static_write(&objv, name, &v);
+                    let id = objv.as_obj().expect("object literal");
+                    self.heap.set_prop(id, name, v);
+                }
+                Op::GetProp { name, ic } => {
+                    let base = stack.pop().expect("vm stack");
+                    let v = self.ic_get(code, *ic, &base, &chunk.names[*name as usize])?;
+                    stack.push(v);
+                }
+                Op::GetPropDyn { span } => {
+                    let key = stack.pop().expect("vm stack");
+                    let base = stack.pop().expect("vm stack");
+                    let op_loc = self.static_loc(chunk.spans[*span as usize]);
+                    let v = self.computed_member_read(&base, key, op_loc)?;
+                    stack.push(v);
+                }
+                Op::SetProp { name, ic } => {
+                    let base = stack.pop().expect("vm stack");
+                    let v = stack.last().expect("vm stack").clone();
+                    let name = &chunk.names[*name as usize];
+                    self.tracer.on_static_write(&base, name, &v);
+                    self.ic_set(code, *ic, &base, name, v)?;
+                }
+                Op::SetPropDyn { span } => {
+                    let key = stack.pop().expect("vm stack");
+                    let base = stack.pop().expect("vm stack");
+                    let v = stack.last().expect("vm stack").clone();
+                    let op_loc = self.static_loc(chunk.spans[*span as usize]);
+                    self.computed_member_write(&base, key, v, op_loc)?;
+                }
+                Op::GetMethod { name, ic } => {
+                    let base = stack.last().expect("vm stack").clone();
+                    let f = self.ic_get(code, *ic, &base, &chunk.names[*name as usize])?;
+                    stack.push(f);
+                }
+                Op::GetMethodDyn { span } => {
+                    let key = stack.pop().expect("vm stack");
+                    let base = stack.last().expect("vm stack").clone();
+                    let op_loc = self.static_loc(chunk.spans[*span as usize]);
+                    let f = self.computed_member_read(&base, key, op_loc)?;
+                    stack.push(f);
+                }
+                Op::Call { argc, span } => {
+                    let argv = stack.split_off(stack.len() - *argc as usize);
+                    let f = stack.pop().expect("vm stack");
+                    let site = self.static_loc(chunk.spans[*span as usize]);
+                    let r = self.call_value(f, Value::Undefined, &argv, site)?;
+                    stack.push(r);
+                }
+                Op::CallMethod { argc, span } => {
+                    let argv = stack.split_off(stack.len() - *argc as usize);
+                    let f = stack.pop().expect("vm stack");
+                    let base = stack.pop().expect("vm stack");
+                    let site = self.static_loc(chunk.spans[*span as usize]);
+                    let r = self.call_value(f, base, &argv, site)?;
+                    stack.push(r);
+                }
+                Op::New { argc, span } => {
+                    let argv = stack.split_off(stack.len() - *argc as usize);
+                    let c = stack.pop().expect("vm stack");
+                    let site = self.static_loc(chunk.spans[*span as usize]);
+                    let r = self.construct(c, &argv, site, site)?;
+                    stack.push(r);
+                }
+                Op::LoopEnter(k) => {
+                    iters[*k as usize] = 0;
+                    // The tree-walker's `exec_loop` takes any pending
+                    // label on entry; compiled loops are unlabeled, so
+                    // the take just clears it.
+                    self.pending_label = None;
+                }
+                Op::IterCheck(k) => {
+                    let c = &mut iters[*k as usize];
+                    *c += 1;
+                    if *c > self.opts.max_loop_iters {
+                        return Err(self.trip_budget(BudgetKind::Loop));
+                    }
+                }
+                Op::Throw => {
+                    let v = stack.pop().expect("vm stack");
+                    return Err(JsError::Thrown(v));
+                }
+                Op::Return => return Ok(stack.pop().expect("vm stack")),
+                Op::ReturnUndef => return Ok(Value::Undefined),
+                Op::StepLoadLocal(i) => {
+                    self.step()?;
+                    stack.push(slots[*i as usize].clone());
+                }
+                Op::StepConst(i) => {
+                    self.step()?;
+                    stack.push(code.consts[*i as usize].clone());
+                }
+                Op::StepLoadName(i) => {
+                    self.step()?;
+                    let v = self.eval_ident(&chunk.names[*i as usize], scope)?;
+                    stack.push(v);
+                }
+                Op::StoreLocalPop(i) => {
+                    slots[*i as usize] = stack.pop().expect("vm stack");
+                }
+                Op::SetPropPop { name, ic } => {
+                    let base = stack.pop().expect("vm stack");
+                    let v = stack.pop().expect("vm stack");
+                    let name = &chunk.names[*name as usize];
+                    self.tracer.on_static_write(&base, name, &v);
+                    self.ic_set(code, *ic, &base, name, v)?;
+                }
+                Op::StepStep => {
+                    self.step()?;
+                    self.step()?;
+                }
+                Op::StepLoadLocalGetProp { slot, name, ic } => {
+                    self.step()?;
+                    let base = slots[*slot as usize].clone();
+                    let v = self.ic_get(code, *ic, &base, &chunk.names[*name as usize])?;
+                    stack.push(v);
+                }
+            }
+        }
+        Ok(Value::Undefined)
+    }
+
+    /// Inline-cached property read. A hit is exactly `v.clone()` of an
+    /// own data property on a plain object — observationally identical to
+    /// the generic `get_property` path, which finds own properties first
+    /// and involves no getters, proxies, or tracer events for them.
+    fn ic_get(
+        &mut self,
+        code: &VmCode,
+        ic: u16,
+        base: &Value,
+        name: &str,
+    ) -> Result<Value, JsError> {
+        let cell = &code.ics[ic as usize];
+        let e = cell.get();
+        if let Some(id) = base.as_obj() {
+            if id.0 == e.obj {
+                if let Some((k, p)) = self.heap.get(id).props.entry_at(e.slot as usize) {
+                    if &**k == name {
+                        if let PropValue::Data(v) = &p.value {
+                            let v = v.clone();
+                            self.obs.ic_hits.inc();
+                            return Ok(v);
+                        }
+                    }
+                }
+            }
+            self.obs.ic_misses.inc();
+            let v = self.get_property(base.clone(), name, None)?;
+            // Patch: cache own data properties of plain objects only.
+            // Arrays and functions synthesize properties (`length`, lazy
+            // `prototype`) that must keep taking the generic path.
+            let o = self.heap.get(id);
+            if matches!(o.kind, ObjKind::Plain) {
+                if let Some((slot, p)) = o.props.slot_and_prop(name) {
+                    if matches!(p.value, PropValue::Data(_)) {
+                        cell.set(IcEntry {
+                            obj: id.0,
+                            slot: slot as u32,
+                        });
+                    }
+                }
+            }
+            return Ok(v);
+        }
+        self.obs.ic_misses.inc();
+        self.get_property(base.clone(), name, None)
+    }
+
+    /// Inline-cached property write (tracer events already emitted by the
+    /// caller, matching the tree-walker's order). A hit replaces an own
+    /// data property in place — exactly what `set_property` does for a
+    /// plain object whose own data property shadows any inherited setter.
+    fn ic_set(
+        &mut self,
+        code: &VmCode,
+        ic: u16,
+        base: &Value,
+        name: &str,
+        v: Value,
+    ) -> Result<(), JsError> {
+        let cell = &code.ics[ic as usize];
+        let e = cell.get();
+        if let Some(id) = base.as_obj() {
+            if id.0 == e.obj
+                && self
+                    .heap
+                    .get_mut(id)
+                    .props
+                    .replace_data_at(e.slot as usize, name, v.clone())
+            {
+                self.obs.ic_hits.inc();
+                return Ok(());
+            }
+            self.obs.ic_misses.inc();
+            self.set_property(base, name, v)?;
+            let o = self.heap.get(id);
+            if matches!(o.kind, ObjKind::Plain) {
+                if let Some((slot, p)) = o.props.slot_and_prop(name) {
+                    if matches!(p.value, PropValue::Data(_)) {
+                        cell.set(IcEntry {
+                            obj: id.0,
+                            slot: slot as u32,
+                        });
+                    }
+                }
+            }
+            return Ok(());
+        }
+        self.obs.ic_misses.inc();
+        self.set_property(base, name, v)
+    }
+}

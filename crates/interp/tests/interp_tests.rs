@@ -720,6 +720,70 @@ fn budget_not_catchable_by_try() {
     assert!(interp.run_module("index.js").is_err());
 }
 
+#[test]
+fn budget_exhaustion_counts_once_per_run() {
+    // A `finally` block keeps executing — and stepping — after the
+    // uncatchable step-budget error, so the counter used to re-increment
+    // on every post-exhaustion step. One exhausted run must count exactly
+    // once, however many budget errors surface while it unwinds.
+    let mut p = Project::new("t");
+    p.add_file(
+        "index.js",
+        "try { while (true) { var x = 1; } } finally { var a = 1; var b = 2; var c = 3; }",
+    );
+    let opts = InterpOptions {
+        max_steps: 500,
+        max_loop_iters: 1_000_000,
+        ..InterpOptions::default()
+    };
+    let reg = std::sync::Arc::new(aji_obs::Registry::new());
+    aji_obs::scoped(&reg, || {
+        let mut interp = Interp::with_options(&p, opts.clone(), Box::new(NoopTracer)).unwrap();
+        assert!(matches!(
+            interp.run_module("index.js").unwrap_err(),
+            aji_interp::JsError::Budget(_)
+        ));
+    });
+    assert_eq!(
+        reg.report().counter("interp.budget_exhaustions"),
+        Some(1),
+        "one exhausted run must count exactly once"
+    );
+}
+
+#[test]
+fn budget_exhaustion_counts_each_exhausted_run() {
+    // Two independent runs that each exhaust count twice; a run that
+    // stays within budget after an exhausted one does not inherit the
+    // earlier trip (the flag re-arms at the public entry points).
+    let mut p = Project::new("t");
+    p.add_file("loop.js", "while (true) {}");
+    p.add_file("ok.js", "exports.result = 1;");
+    let opts = InterpOptions {
+        max_loop_iters: 100,
+        ..InterpOptions::default()
+    };
+    let reg = std::sync::Arc::new(aji_obs::Registry::new());
+    aji_obs::scoped(&reg, || {
+        let mut interp = Interp::with_options(&p, opts.clone(), Box::new(NoopTracer)).unwrap();
+        assert!(interp.run_module("loop.js").is_err());
+        assert!(interp.run_module("ok.js").is_ok());
+        // Re-running the cached exhausted module returns the partial
+        // exports without re-executing, so it cannot trip again.
+        assert!(interp.run_module("ok.js").is_ok());
+    });
+    assert_eq!(reg.report().counter("interp.budget_exhaustions"), Some(1));
+
+    let reg2 = std::sync::Arc::new(aji_obs::Registry::new());
+    aji_obs::scoped(&reg2, || {
+        let mut interp = Interp::with_options(&p, opts.clone(), Box::new(NoopTracer)).unwrap();
+        assert!(interp.run_module("loop.js").is_err());
+        let mut interp2 = Interp::with_options(&p, opts.clone(), Box::new(NoopTracer)).unwrap();
+        assert!(interp2.run_module("loop.js").is_err());
+    });
+    assert_eq!(reg2.report().counter("interp.budget_exhaustions"), Some(2));
+}
+
 // ----- the paper's motivating example (Figure 1) -----
 
 fn express_like_project() -> Project {

@@ -18,6 +18,7 @@
 //! [`aji_bench::run_corpus_map`], so the aggregate report is byte-identical
 //! whatever `--threads` says.
 
+use crate::spurious::{triage_spurious, SpuriousCause, SpuriousEdge};
 use crate::triage::{triage, Cause, MissedEdge};
 use aji::{dynamic_call_graph_parsed, PipelineError};
 use aji_approx::{approximate_interpret_parsed, ApproxOptions, ApproxStats};
@@ -125,6 +126,8 @@ pub struct ProjectOracle {
     pub diff: EdgeDiff,
     /// Every missed edge, triaged (ordered by `(site, callee)`).
     pub missed: Vec<MissedEdge>,
+    /// Every spurious edge, triaged (ordered by `(site, callee)`).
+    pub spurious: Vec<SpuriousEdge>,
     /// Total hints the approximate interpretation produced
     /// (`|H_R| + |H_W| + |proxy reads|`).
     pub hint_count: usize,
@@ -144,6 +147,22 @@ impl ProjectOracle {
                 (
                     c.key(),
                     self.missed.iter().filter(|m| m.cause == *c).count(),
+                )
+            })
+            .collect()
+    }
+
+    /// The spurious-cause histogram: every [`SpuriousCause`] (in fixed
+    /// order) with the number of spurious edges it explains, zeros
+    /// included so reports from different projects align.
+    #[must_use]
+    pub fn spurious_histogram(&self) -> Vec<(&'static str, usize)> {
+        SpuriousCause::all()
+            .iter()
+            .map(|c| {
+                (
+                    c.key(),
+                    self.spurious.iter().filter(|s| s.cause == *c).count(),
                 )
             })
             .collect()
@@ -174,8 +193,21 @@ impl ProjectOracle {
                 ),
             ),
             (
+                "spurious_causes",
+                Json::Obj(
+                    self.spurious_histogram()
+                        .into_iter()
+                        .map(|(k, n)| (k.to_string(), Json::Num(n as f64)))
+                        .collect(),
+                ),
+            ),
+            (
                 "missed",
                 Json::Arr(self.missed.iter().map(MissedEdge::to_json).collect()),
+            ),
+            (
+                "spurious_edges",
+                Json::Arr(self.spurious.iter().map(SpuriousEdge::to_json).collect()),
             ),
             (
                 "findings",
@@ -242,7 +274,9 @@ pub fn run_oracle(
         &extended.call_graph,
         &diff.missed,
     );
+    let spurious = triage_spurious(&parsed, &baseline.call_graph, &diff.spurious);
     aji_obs::counter_add("oracle.missed_edges", diff.missed.len() as u64);
+    aji_obs::counter_add("oracle.spurious_edges", diff.spurious.len() as u64);
     aji_obs::counter_add(
         "oracle.findings",
         missed.iter().filter(|m| m.hint_covered).count() as u64,
@@ -255,6 +289,7 @@ pub fn run_oracle(
         name: project.name.clone(),
         diff,
         missed,
+        spurious,
         hint_count,
         approx_stats: approx.stats,
     })
@@ -296,6 +331,25 @@ impl CorpusOracle {
                         .iter()
                         .flat_map(|p| &p.missed)
                         .filter(|m| m.cause == *c)
+                        .count(),
+                )
+            })
+            .collect()
+    }
+
+    /// The corpus-wide spurious-cause histogram (every cause, zeros
+    /// included).
+    #[must_use]
+    pub fn spurious_histogram(&self) -> Vec<(&'static str, usize)> {
+        SpuriousCause::all()
+            .iter()
+            .map(|c| {
+                (
+                    c.key(),
+                    self.projects
+                        .iter()
+                        .flat_map(|p| &p.spurious)
+                        .filter(|s| s.cause == *c)
                         .count(),
                 )
             })
@@ -346,6 +400,15 @@ impl CorpusOracle {
                 "causes",
                 Json::Obj(
                     self.histogram()
+                        .into_iter()
+                        .map(|(k, n)| (k.to_string(), Json::Num(n as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "spurious_causes",
+                Json::Obj(
+                    self.spurious_histogram()
                         .into_iter()
                         .map(|(k, n)| (k.to_string(), Json::Num(n as f64)))
                         .collect(),

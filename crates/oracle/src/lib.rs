@@ -14,6 +14,12 @@
 //!   by inspecting the AST and the hint sets ([`Cause`]: dynamic read,
 //!   dynamic write, eval-built API, dynamic require, higher-order proxy,
 //!   budget exhaustion), with a per-project cause histogram.
+//! * [`triage_spurious()`] — the **precision-side mirror**: every
+//!   spurious edge (extended-graph edge at a dynamically exercised site
+//!   the run never took) classified against the static models that
+//!   introduced it ([`SpuriousCause`]: listener model, callback model,
+//!   `.call`/`.apply` dispatch, baseline vs. hint-only
+//!   over-approximation), with its own histogram in the JSON report.
 //! * [`run_fuzz`] — the **soundness fuzzer**: a loop-until-dry over
 //!   seeded generator configs, flagging any dynamic edge the
 //!   hint-augmented analysis misses *despite a hint naming the callee*
@@ -45,10 +51,12 @@
 
 pub mod diff;
 pub mod fuzz;
+pub mod spurious;
 pub mod triage;
 
 pub use diff::{
     run_oracle, run_oracle_corpus, CorpusOracle, EdgeDiff, OracleOptions, ProjectOracle,
 };
 pub use fuzz::{case_config, case_seed, run_fuzz, Finding, FuzzOptions, FuzzReport, Reproducer};
+pub use spurious::{triage_spurious, SpuriousCause, SpuriousEdge};
 pub use triage::{triage, Cause, MissedEdge};

@@ -153,7 +153,11 @@ impl Json {
             Json::Bool(false) => out.push_str("false"),
             Json::Num(n) => {
                 assert!(n.is_finite(), "cannot serialize non-finite number {n}");
-                if *n == n.trunc() && n.abs() < 1e15 {
+                if *n == 0.0 && n.is_sign_negative() {
+                    // `-0.0 as i64` is 0, which would drop the sign on the
+                    // round trip; JSON spells negative zero as `-0`.
+                    out.push_str("-0");
+                } else if *n == n.trunc() && n.abs() < 1e15 {
                     // Integral values print without the ".0" Rust would add.
                     let _ = fmt::Write::write_fmt(out, format_args!("{}", *n as i64));
                 } else {
@@ -448,9 +452,14 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err("invalid number"))
+        match text.parse::<f64>() {
+            // Rust's f64 parser overflows to infinity (e.g. "1e999"), but
+            // the value model holds finite numbers only — accepting one
+            // here would make the serializer panic on the round trip.
+            Ok(v) if v.is_finite() => Ok(Json::Num(v)),
+            Ok(_) => Err(self.err("number overflows to a non-finite value")),
+            Err(_) => Err(self.err("invalid number")),
+        }
     }
 }
 

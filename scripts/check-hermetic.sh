@@ -7,8 +7,8 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release --offline"
-cargo build --release --offline
+echo "==> cargo build --workspace --release --offline"
+cargo build --workspace --release --offline
 
 echo "==> cargo test -q --offline"
 cargo test -q --offline
@@ -31,5 +31,13 @@ echo "==> aji-oracle determinism (same seed, threads 1 vs 4, byte-identical)"
 cmp target/oracle-t1.json target/oracle-t4.json
 ./target/release/aji-oracle --seed 1 --cases 50 --json --threads 1 > target/oracle-rerun.json
 cmp target/oracle-t1.json target/oracle-rerun.json
+
+echo "==> cargo test -q --offline --test bytecode_differential (VM vs tree-walker)"
+cargo test -q --offline --test bytecode_differential
+
+echo "==> vm-throughput metrics determinism (two runs, byte-identical)"
+./target/release/vm-throughput --metrics-json > target/vm-metrics-1.json
+./target/release/vm-throughput --metrics-json > target/vm-metrics-2.json
+cmp target/vm-metrics-1.json target/vm-metrics-2.json
 
 echo "ok: workspace builds, tests, lints and docs clean with no network access"

@@ -1,0 +1,202 @@
+//! Differential test: bytecode VM vs tree-walker.
+//!
+//! The VM's contract (`crates/interp/src/vm.rs`) is *observational
+//! identity*: for every program, running with `use_vm: true` must produce
+//! the same tracer event stream, the same dynamic call graph, and the
+//! same work counters (steps, calls, budget exhaustions, …) as the
+//! tree-walker — the VM may only be faster. This test pushes a slice of
+//! the PR 5 fuzz-generator corpus through both engines and asserts
+//! byte-identical observations, both serially and under the parallel
+//! corpus driver's thread pool (`threads = 1` and `threads = 4`), so
+//! engine parity and thread-count determinism are pinned together.
+//!
+//! Every run uses approximate-interpretation options (`approx_defaults`)
+//! plus a forced-call sweep over each function definition the tracer saw
+//! — the worklist's `f.apply(w, p*)` hot path, which is exactly the path
+//! the VM was built for.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use aji_ast::{Loc, NodeId};
+use aji_interp::tracer::Tracer;
+use aji_interp::{Interp, InterpOptions, Value};
+use aji_oracle::{case_config, case_seed};
+use aji_support::check::TestCase;
+
+/// Master seed for the fuzz slice (distinct from the oracle suites so the
+/// cases differ from theirs).
+const SEED: u64 = 7;
+/// Fuzz cases per engine per thread configuration.
+const CASES: usize = 20;
+
+/// Counters that must agree between engines. IC and compile counters are
+/// deliberately absent: they describe *how* the VM ran, not *what* the
+/// program did.
+const WORK_COUNTERS: [&str; 6] = [
+    "interp.steps",
+    "interp.calls",
+    "interp.forced_calls",
+    "interp.budget_exhaustions",
+    "interp.proxy_ops",
+    "interp.builtin_dispatches",
+];
+
+/// Records every tracer event verbatim (Debug-formatted, so object ids
+/// and locations must match exactly) plus the dynamic call graph and the
+/// function values needed for the forced-call sweep.
+#[derive(Default)]
+struct Recorder {
+    events: Vec<String>,
+    cg: aji_interp::DynCallGraph,
+    funcs: Vec<Value>,
+}
+
+impl Tracer for Recorder {
+    fn on_alloc(&mut self, loc: Option<Loc>) {
+        self.events.push(format!("alloc {loc:?}"));
+    }
+    fn on_function_def(&mut self, def: NodeId, loc: Option<Loc>, value: &Value) {
+        self.events.push(format!("fn-def {def:?} {loc:?} {value:?}"));
+        self.funcs.push(value.clone());
+    }
+    fn on_call(&mut self, call_site: Option<Loc>, callee_def: NodeId, callee_loc: Option<Loc>) {
+        self.events
+            .push(format!("call {call_site:?} {callee_def:?} {callee_loc:?}"));
+        self.cg.on_call(call_site, callee_def, callee_loc);
+    }
+    fn on_dynamic_read(&mut self, op_loc: Loc, result: &Value, result_loc: Option<Loc>) {
+        self.events
+            .push(format!("dyn-read {op_loc:?} {result:?} {result_loc:?}"));
+    }
+    fn on_dynamic_write(
+        &mut self,
+        op_loc: Option<Loc>,
+        obj_loc: Option<Loc>,
+        prop: &str,
+        value_loc: Option<Loc>,
+        value: &Value,
+    ) {
+        self.events.push(format!(
+            "dyn-write {op_loc:?} {obj_loc:?} {prop} {value_loc:?} {value:?}"
+        ));
+    }
+    fn on_proxy_base_read(&mut self, op_loc: Loc, key: &str) {
+        self.events.push(format!("proxy-base-read {op_loc:?} {key}"));
+    }
+    fn on_static_write(&mut self, obj: &Value, prop: &str, value: &Value) {
+        self.events
+            .push(format!("static-write {obj:?} {prop} {value:?}"));
+    }
+    fn on_require(&mut self, site: Loc, name: &str, resolved: Option<&str>) {
+        self.events
+            .push(format!("require {site:?} {name} {resolved:?}"));
+    }
+}
+
+/// Everything one engine observed on one fuzz case. `vm_compiles` is not
+/// part of engine parity (the tree-walker never compiles); the parity
+/// test compares the other fields and uses it only to prove the VM
+/// actually engaged.
+#[derive(PartialEq, Debug)]
+struct Digest {
+    events: Vec<String>,
+    call_graph: Vec<String>,
+    counters: Vec<(String, u64)>,
+    vm_compiles: u64,
+}
+
+/// Runs fuzz case `case` on one engine: every module executed in file
+/// order, then a forced call of every recorded function definition, all
+/// under a scoped observability registry.
+fn run_case(case: usize, use_vm: bool) -> Digest {
+    let mut tc = TestCase::with_seed(case_seed(SEED, case));
+    let cfg = case_config(&mut tc, case);
+    let project = aji_corpus::generate(&cfg);
+
+    let registry = Arc::new(aji_obs::Registry::new());
+    let (events, call_graph) = aji_obs::scoped(&registry, || {
+        let rec = Rc::new(RefCell::new(Recorder::default()));
+        let opts = InterpOptions {
+            use_vm,
+            ..InterpOptions::approx_defaults()
+        };
+        let mut interp =
+            Interp::with_options(&project, opts, Box::new(rec.clone())).expect("parse");
+        for f in &project.files {
+            let r = interp.run_module(&f.path);
+            rec.borrow_mut()
+                .events
+                .push(format!("module {} -> {r:?}", f.path));
+        }
+        let funcs: Vec<Value> = rec.borrow().funcs.clone();
+        for (i, f) in funcs.iter().enumerate() {
+            let r = interp.call_function(f.clone(), Value::Undefined, &[]);
+            rec.borrow_mut().events.push(format!("forced {i} -> {r:?}"));
+        }
+        let rec = rec.borrow();
+        let call_graph = rec.cg.edges.iter().map(|e| format!("{e:?}")).collect();
+        (rec.events.clone(), call_graph)
+    });
+    let report = registry.report();
+    let counters = WORK_COUNTERS
+        .iter()
+        .map(|n| ((*n).to_string(), report.counter(n).unwrap_or(0)))
+        .collect();
+    Digest {
+        events,
+        call_graph,
+        counters,
+        vm_compiles: report.counter("interp.vm_compiles").unwrap_or(0),
+    }
+}
+
+/// Both engines over all cases with the given worker count, via the same
+/// thread pool the corpus driver uses.
+fn run_all(threads: usize) -> Vec<(Digest, Digest)> {
+    aji_support::par::map((0..CASES).collect(), threads, |case| {
+        (run_case(case, false), run_case(case, true))
+    })
+}
+
+#[test]
+fn vm_matches_tree_walker_on_fuzz_corpus() {
+    let all = run_all(1);
+    let compiled: u64 = all.iter().map(|(_, vm)| vm.vm_compiles).sum();
+    assert!(
+        compiled > 0,
+        "the VM must compile at least one function across the corpus \
+         (otherwise this differential is tree-walker vs tree-walker)"
+    );
+    for (case, (tree, vm)) in all.into_iter().enumerate() {
+        assert_eq!(
+            tree.counters, vm.counters,
+            "case {case}: work counters diverged"
+        );
+        assert_eq!(
+            tree.call_graph, vm.call_graph,
+            "case {case}: dynamic call graphs diverged"
+        );
+        // Event streams last: the longest output, so only shown when the
+        // cheap summaries already agree.
+        assert_eq!(
+            tree.events, vm.events,
+            "case {case}: tracer event streams diverged"
+        );
+        assert!(
+            tree.counters.iter().any(|(n, v)| n == "interp.steps" && *v > 0),
+            "case {case}: workload must actually execute"
+        );
+    }
+}
+
+#[test]
+fn differential_runs_are_thread_count_invariant() {
+    let serial = run_all(1);
+    let parallel = run_all(4);
+    assert_eq!(serial.len(), parallel.len());
+    for (case, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(s, p, "case {case}: digests differ between threads=1 and threads=4");
+    }
+}

@@ -47,6 +47,29 @@ fn pattern_corpus_golden_report() {
         (143, 10, 52, 4),
         "corpus edge totals changed"
     );
+    // The 4 spurious edges are all in middleware-app and share one root
+    // cause: aji-pta's name-based listener-registration model ("on" /
+    // "once" / "addListener" in `method_model`) records a call edge from
+    // each `pipeline.on('phase', fn)` registration site to its own
+    // callback argument. The model exists so listeners on *opaque*
+    // emitters still count as called, but hookline's `on` is plain user
+    // code and the read hint at its `fns[j](ctx)` dispatch loop already
+    // recovers the true edges — so the registration-site edges are pure
+    // over-approximation. They appear in the baseline graph too (no hint
+    // involvement), i.e. a deliberate precision trade in the static
+    // model, not a hint-application bug; the pinned histogram below keeps
+    // them named.
+    assert_eq!(
+        corpus.spurious_histogram(),
+        vec![
+            ("listener-model", 4),
+            ("callback-model", 0),
+            ("dot-dispatch", 0),
+            ("static-imprecision", 0),
+            ("hint-imprecision", 0),
+        ],
+        "spurious-cause histogram changed"
+    );
     let (base, ext) = corpus.recall();
     assert!(base > 56.0 && base < 57.0, "baseline recall {base}");
     assert!(ext > 92.0 && ext < 94.0, "extended recall {ext}");
@@ -76,9 +99,23 @@ fn pattern_corpus_golden_report() {
             "{}: unexpected unsoundness finding",
             p.name
         );
-        // Histogram accounts for every miss, no double counting.
+        // Histograms account for every miss / spurious edge, no double
+        // counting.
         let hist_total: usize = p.histogram().iter().map(|&(_, n)| n).sum();
         assert_eq!(hist_total, p.missed.len(), "{}: histogram mismatch", p.name);
+        let sp_total: usize = p.spurious_histogram().iter().map(|&(_, n)| n).sum();
+        assert_eq!(
+            sp_total,
+            p.spurious.len(),
+            "{}: spurious histogram mismatch",
+            p.name
+        );
+        assert_eq!(
+            p.spurious.len(),
+            p.diff.spurious.len(),
+            "{}: every spurious edge is triaged",
+            p.name
+        );
     }
 }
 
