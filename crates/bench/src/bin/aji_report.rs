@@ -1,5 +1,6 @@
 //! aji-report: profile the analysis pipeline with `aji-obs` and render the
-//! collected span tree, counters and histograms.
+//! collected span tree, hot-function table, counters and histograms — plus
+//! the flight-recorder export and perf-regression tooling.
 //!
 //! Usage:
 //!
@@ -15,24 +16,47 @@
 //!   --dynamic          also run the dynamic call-graph phase
 //!   --json             print the ObsReport as JSON instead of text
 //!   --top N            show the top N counters (default 20)
+//!   --top-fns N        show the top N hot functions (default 10)
+//!   --deterministic    record the flight recorder in deterministic mode
+//!                      (zeroed wall clocks; byte-identical across reruns
+//!                      and thread counts)
+//!   --chrome-trace OUT write the recorded trace as a Chrome/Perfetto
+//!                      trace-event JSON to OUT (open in chrome://tracing
+//!                      or https://ui.perfetto.dev)
+//!   --diff OLD NEW     compare two saved metrics/report JSONs as a perf
+//!                      gate: deterministic counters must match exactly,
+//!                      wall-clock values within the tolerance band;
+//!                      exits 1 on violation
+//!   --tolerance PCT    wall-clock band for --diff, percent (default 25)
 //! ```
 //!
-//! The binary force-enables collection; `AJI_OBS` need not be set.
+//! The binary force-enables collection and installs a flight recorder on
+//! live runs; `AJI_OBS` need not be set.
 
 use aji::{run_benchmark, PipelineOptions};
 use aji_ast::Project;
-use aji_obs::{render_text, ObsReport, RenderOptions};
+use aji_bench::diff::diff_reports;
+use aji_obs::{render_text, ObsReport, RenderOptions, TraceConfig};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: aji-report [--project NAME] [--dynamic] [--json] [--top N] [FILE]");
+    eprintln!(
+        "usage: aji-report [--project NAME] [--dynamic] [--json] [--top N] [--top-fns N]\n\
+         \x20                 [--deterministic] [--chrome-trace OUT] [FILE]\n\
+         \x20      aji-report --diff OLD NEW [--tolerance PCT]"
+    );
     ExitCode::FAILURE
 }
 
 fn main() -> ExitCode {
     let mut json = false;
     let mut dynamic = false;
+    let mut deterministic = false;
     let mut top = 20usize;
+    let mut top_fns = 10usize;
+    let mut tolerance = 25.0f64;
+    let mut chrome_trace: Option<String> = None;
+    let mut diff: Option<(String, String)> = None;
     let mut project_name: Option<String> = None;
     let mut file: Option<String> = None;
 
@@ -41,9 +65,26 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--json" => json = true,
             "--dynamic" => dynamic = true,
+            "--deterministic" => deterministic = true,
             "--top" => match args.next().and_then(|n| n.parse().ok()) {
                 Some(n) => top = n,
                 None => return usage(),
+            },
+            "--top-fns" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => top_fns = n,
+                None => return usage(),
+            },
+            "--tolerance" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => tolerance = n,
+                None => return usage(),
+            },
+            "--chrome-trace" => match args.next() {
+                Some(p) => chrome_trace = Some(p),
+                None => return usage(),
+            },
+            "--diff" => match (args.next(), args.next()) {
+                (Some(old), Some(new)) => diff = Some((old, new)),
+                _ => return usage(),
             },
             "--project" => match args.next() {
                 Some(n) => project_name = Some(n),
@@ -56,6 +97,10 @@ fn main() -> ExitCode {
             _ if a.starts_with('-') => return usage(),
             _ => file = Some(a),
         }
+    }
+
+    if let Some((old, new)) = diff {
+        return run_diff(&old, &new, tolerance / 100.0);
     }
 
     let (label, report) = if let Some(path) = file {
@@ -85,7 +130,7 @@ fn main() -> ExitCode {
                 }
             },
         };
-        match profile(&project, dynamic) {
+        match profile(&project, dynamic, deterministic) {
             Ok(r) => (project.name.clone(), r),
             Err(e) => {
                 eprintln!("aji-report: pipeline failed: {e}");
@@ -94,19 +139,84 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(out) = chrome_trace {
+        let Some(trace) = &report.trace else {
+            eprintln!("aji-report: report carries no trace (recorder was not installed)");
+            return ExitCode::FAILURE;
+        };
+        let doc = trace.to_chrome_trace();
+        if let Err(e) = std::fs::write(&out, format!("{doc}\n")) {
+            eprintln!("aji-report: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "aji-report: wrote {} trace events to {out}",
+            trace.events.len()
+        );
+    }
+
     if json {
         println!("{}", report.to_json_string());
     } else {
         println!("== aji-report: {label} ==");
-        print!("{}", render_text(&report, &RenderOptions { top_counters: top }));
+        print!(
+            "{}",
+            render_text(
+                &report,
+                &RenderOptions {
+                    top_counters: top,
+                    top_functions: top_fns,
+                }
+            )
+        );
     }
     ExitCode::SUCCESS
 }
 
-/// Runs the pipeline with collection force-enabled and returns the per-run
-/// observability report.
-fn profile(project: &Project, dynamic: bool) -> Result<ObsReport, aji::PipelineError> {
+/// `--diff OLD NEW`: load both documents, compare, render findings, and
+/// gate on fatal ones.
+fn run_diff(old_path: &str, new_path: &str, tolerance: f64) -> ExitCode {
+    let load = |path: &str| -> Result<aji_support::Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        aji_support::Json::parse(&text).map_err(|e| e.to_string())
+    };
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) => {
+            eprintln!("aji-report: cannot load {old_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        (_, Err(e)) => {
+            eprintln!("aji-report: cannot load {new_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = diff_reports(&old, &new, tolerance);
+    print!("{}", report.render());
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Runs the pipeline with collection force-enabled and a flight recorder
+/// installed, returning the per-run observability report (with trace and
+/// hot-function profile).
+fn profile(
+    project: &Project,
+    dynamic: bool,
+    deterministic: bool,
+) -> Result<ObsReport, aji::PipelineError> {
     aji_obs::force_enable();
+    let config = if deterministic {
+        TraceConfig::deterministic()
+    } else {
+        TraceConfig::default()
+    };
+    if let Some(reg) = aji_obs::current_registry() {
+        reg.install_recorder(config);
+    }
     let opts = if dynamic {
         PipelineOptions::with_dynamic_cg()
     } else {

@@ -8,13 +8,19 @@
 //! identical number of steps for the identical program, so steps/sec is a
 //! like-for-like work rate, not a proxy metric.
 //!
-//! Usage: `vm-throughput [--metrics-json] [--require-speedup X] [--out FILE]`
+//! Usage: `vm-throughput [--metrics-json] [--require-speedup X] [--recorder] [--out FILE]`
 //!
 //! * `--metrics-json`    print only the deterministic metrics (steps, IC
-//!                       and compile counters, results) as JSON — no
-//!                       timings, so two runs are byte-identical. Used by
-//!                       `scripts/check-hermetic.sh` for a `cmp` check.
+//!                       and compile counters, per-site IC misses,
+//!                       results) as JSON — no timings, so two runs are
+//!                       byte-identical. Used by
+//!                       `scripts/check-hermetic.sh` for a `cmp` check
+//!                       and as the `aji-report --diff` baseline: its key
+//!                       paths are a subset of the full report's.
 //! * `--require-speedup X`  exit non-zero unless VM/tree speedup ≥ X.
+//! * `--recorder`        also time both engines with a flight recorder
+//!                       (and its step-attributed profiler) live, and
+//!                       report the recorder-on overhead per engine.
 //! * `--out FILE`        also write the (full) JSON report to FILE.
 
 use std::process::ExitCode;
@@ -139,13 +145,19 @@ fn one_pass(use_vm: bool) -> Result<(u64, f64, String), String> {
 }
 
 /// Runs the workload twice per engine: a *metrics* pass inside a scoped
-/// observability registry (to read IC and compile counters), then a
-/// *timing* pass with observability inactive — the production
-/// configuration, where counter handles are no-ops and the hot path pays
-/// no atomics. The program is deterministic, so both passes execute the
-/// identical step sequence; we assert it.
-fn run_engine(use_vm: bool) -> Result<EngineRun, String> {
+/// observability registry carrying a deterministic flight recorder (to
+/// read IC and compile counters plus per-site IC misses and the
+/// step-attributed profile), then `PASSES` *timing* passes. With
+/// `record_timing` false the timing passes run with observability
+/// inactive — the production configuration, where counter handles are
+/// no-ops and the hot path pays no atomics. With it true each timing
+/// pass runs under a registry with a full (wall-clock-stamping)
+/// recorder and profiler live, pricing the flight recorder itself. The
+/// program is deterministic, so all passes execute the identical step
+/// sequence; we assert it.
+fn run_engine(use_vm: bool, record_timing: bool) -> Result<EngineRun, String> {
     let registry = Arc::new(aji_obs::Registry::new());
+    registry.install_recorder(aji_obs::TraceConfig::deterministic());
     let (metric_steps, _, metric_result) = aji_obs::scoped(&registry, || one_pass(use_vm))?;
     let counters: Vec<(String, u64)> = registry
         .report()
@@ -155,7 +167,13 @@ fn run_engine(use_vm: bool) -> Result<EngineRun, String> {
         .collect();
     let mut best: Option<(u64, f64, String)> = None;
     for _ in 0..PASSES {
-        let (steps, elapsed_s, result) = one_pass(use_vm)?;
+        let (steps, elapsed_s, result) = if record_timing {
+            let reg = Arc::new(aji_obs::Registry::new());
+            reg.install_recorder(aji_obs::TraceConfig::default());
+            aji_obs::scoped(&reg, || one_pass(use_vm))?
+        } else {
+            one_pass(use_vm)?
+        };
         if steps != metric_steps || result != metric_result {
             return Err(format!(
                 "nondeterministic workload: metrics pass {metric_steps} steps → \
@@ -175,8 +193,28 @@ fn run_engine(use_vm: bool) -> Result<EngineRun, String> {
     })
 }
 
-fn engine_metrics(run: &EngineRun) -> Json {
-    Json::obj(vec![
+/// The per-site IC miss table (`interp.ic_miss_site.<fn@file:line:prop#ic>`
+/// counters from the metrics pass), as a name-sorted JSON object.
+fn ic_miss_sites(run: &EngineRun) -> Json {
+    const PREFIX: &str = "interp.ic_miss_site.";
+    let mut pairs: Vec<(String, Json)> = run
+        .counters
+        .iter()
+        .filter_map(|(n, v)| {
+            n.strip_prefix(PREFIX)
+                .map(|site| (site.to_string(), Json::Num(*v as f64)))
+        })
+        .collect();
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    Json::Obj(pairs)
+}
+
+/// The deterministic metric fields shared by `--metrics-json` output and
+/// the full report's per-engine objects — identical key paths, so
+/// `aji-report --diff` can gate a fresh `--metrics-json` run against a
+/// committed full report.
+fn engine_metric_fields(run: &EngineRun) -> Vec<(&'static str, Json)> {
+    vec![
         ("steps", Json::Num(run.steps as f64)),
         ("result", Json::Str(run.result.clone())),
         (
@@ -195,17 +233,34 @@ fn engine_metrics(run: &EngineRun) -> Json {
             "ic_misses",
             Json::Num(counter_value(&run.counters, "interp.ic_misses") as f64),
         ),
-    ])
+        ("ic_miss_sites", ic_miss_sites(run)),
+    ]
+}
+
+fn engine_metrics(run: &EngineRun) -> Json {
+    Json::obj(engine_metric_fields(run))
+}
+
+/// Full-report engine object: the deterministic metrics inline plus the
+/// wall-clock fields.
+fn engine_full(run: &EngineRun, sps: f64) -> Json {
+    let mut fields = engine_metric_fields(run);
+    fields.push(("elapsed_s", Json::Num(run.elapsed_s)));
+    fields.push(("steps_per_sec", Json::Num(sps.round())));
+    Json::obj(fields)
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: vm-throughput [--metrics-json] [--require-speedup X] [--out FILE]");
+    eprintln!(
+        "usage: vm-throughput [--metrics-json] [--require-speedup X] [--recorder] [--out FILE]"
+    );
     ExitCode::FAILURE
 }
 
 fn main() -> ExitCode {
     let mut metrics_only = false;
     let mut require_speedup: Option<f64> = None;
+    let mut with_recorder = false;
     let mut out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -215,6 +270,7 @@ fn main() -> ExitCode {
                 Some(x) => require_speedup = Some(x),
                 None => return usage(),
             },
+            "--recorder" => with_recorder = true,
             "--out" => match args.next() {
                 Some(f) => out = Some(f),
                 None => return usage(),
@@ -223,14 +279,14 @@ fn main() -> ExitCode {
         }
     }
 
-    let tree = match run_engine(false) {
+    let tree = match run_engine(false, false) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("vm-throughput: tree-walker: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let vm = match run_engine(true) {
+    let vm = match run_engine(true, false) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("vm-throughput: vm: {e}");
@@ -261,7 +317,7 @@ fn main() -> ExitCode {
     let tree_sps = tree.steps as f64 / tree.elapsed_s;
     let vm_sps = vm.steps as f64 / vm.elapsed_s;
     let speedup = vm_sps / tree_sps;
-    let doc = Json::obj(vec![
+    let mut fields = vec![
         ("benchmark", Json::Str("vm-throughput".into())),
         (
             "workload",
@@ -271,36 +327,61 @@ fn main() -> ExitCode {
                 ("warmup_calls", Json::Num(f64::from(WARMUP))),
             ]),
         ),
-        (
-            "tree",
-            Json::obj(vec![
-                ("steps", Json::Num(tree.steps as f64)),
-                ("elapsed_s", Json::Num(tree.elapsed_s)),
-                ("steps_per_sec", Json::Num(tree_sps.round())),
-                ("metrics", engine_metrics(&tree)),
-            ]),
-        ),
-        (
-            "vm",
-            Json::obj(vec![
-                ("steps", Json::Num(vm.steps as f64)),
-                ("elapsed_s", Json::Num(vm.elapsed_s)),
-                ("steps_per_sec", Json::Num(vm_sps.round())),
-                ("metrics", engine_metrics(&vm)),
-            ]),
-        ),
+        ("tree", engine_full(&tree, tree_sps)),
+        ("vm", engine_full(&vm, vm_sps)),
         ("speedup", Json::Num((speedup * 100.0).round() / 100.0)),
-        (
-            "notes",
-            Json::Str(
-                "single-core wall clock, min of 3 passes, obs inactive during timing; \
-                 steps are identical across engines by the parity contract; analysis \
-                 output (oracle recall 93.0% with hints, corpus determinism) is pinned \
-                 unchanged by tests/oracle_pipeline.rs and tests/bytecode_differential.rs"
-                    .into(),
-            ),
+    ];
+
+    if with_recorder {
+        let pct = |off: f64, on: f64| ((off / on - 1.0) * 1000.0).round() / 10.0;
+        let mut section = Vec::new();
+        for (name, use_vm, off_run) in [("tree", false, &tree), ("vm", true, &vm)] {
+            let on = match run_engine(use_vm, true) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("vm-throughput: {name} (recorder on): {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if on.steps != off_run.steps || on.result != off_run.result {
+                eprintln!("vm-throughput: {name} diverged under the recorder");
+                return ExitCode::FAILURE;
+            }
+            let on_sps = on.steps as f64 / on.elapsed_s;
+            let off_sps = off_run.steps as f64 / off_run.elapsed_s;
+            section.push((
+                name,
+                Json::obj(vec![
+                    ("elapsed_s", Json::Num(on.elapsed_s)),
+                    ("steps_per_sec", Json::Num(on_sps.round())),
+                    ("overhead_pct", Json::Num(pct(off_sps, on_sps))),
+                ]),
+            ));
+        }
+        fields.push(("recorder", Json::obj(section)));
+    }
+
+    // First-class peak-RSS reading (VmHWM, Linux procfs); covers the
+    // whole process life, so it prices the workload plus both engines.
+    let rss_reg = Arc::new(aji_obs::Registry::new());
+    if let Some(kb) = aji_obs::scoped(&rss_reg, aji_obs::record_peak_rss) {
+        fields.push((
+            "process",
+            Json::obj(vec![("peak_rss_kb", Json::Num(kb as f64))]),
+        ));
+    }
+
+    fields.push((
+        "notes",
+        Json::Str(
+            "single-core wall clock, min of 3 passes, obs inactive during timing; \
+             steps are identical across engines by the parity contract; analysis \
+             output (oracle recall 93.0% with hints, corpus determinism) is pinned \
+             unchanged by tests/oracle_pipeline.rs and tests/bytecode_differential.rs"
+                .into(),
         ),
-    ]);
+    ));
+    let doc = Json::obj(fields);
     let text = doc.to_string();
     println!("{text}");
     if let Some(path) = out {

@@ -64,6 +64,8 @@ use std::fmt;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+pub mod diff;
+
 /// Outcome of running one corpus project: the project name plus either the
 /// payload produced for it or the error that stopped it.
 ///
@@ -155,12 +157,14 @@ where
     // TLS-scoped registries are per-thread: workers spawned below do NOT
     // see the caller's scope, so capture it here and merge explicitly.
     let parent = aji_obs::current_registry();
-    let collect = parent.is_some();
     let n = projects.len();
     let raw = aji_support::par::map(projects, threads, |project| {
         let name = project.name.clone();
-        if collect {
-            let reg = Arc::new(aji_obs::Registry::new());
+        if let Some(parent) = &parent {
+            // `new_like` inherits the parent's flight-recorder config with
+            // a fresh ring, so each project's trace fills identically no
+            // matter which worker runs it.
+            let reg = Arc::new(aji_obs::Registry::new_like(parent));
             let outcome = aji_obs::scoped(&reg, || f(&project));
             (name, outcome, Some(reg.report()))
         } else {
@@ -168,14 +172,16 @@ where
         }
     });
     if let Some(parent) = &parent {
-        // Input order; `absorb` is commutative, so this matches a serial
-        // run no matter how the workers interleaved.
+        // Input order; `absorb` is commutative for counters and appends
+        // trace events per project, so this matches a serial run no
+        // matter how the workers interleaved.
         for (_, _, obs) in &raw {
             if let Some(obs) = obs {
                 parent.absorb(obs);
             }
         }
         aji_obs::counter_add("corpus.projects", n as u64);
+        aji_obs::record_peak_rss();
     }
     raw.into_iter()
         .map(|(name, outcome, _)| ProjectResult { name, outcome })

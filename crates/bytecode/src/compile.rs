@@ -45,7 +45,10 @@ pub fn compile_function(def: &Function) -> Result<Chunk, Bail> {
             c.emit(Op::Return);
         }
     }
-    c.finish()
+    let mut chunk = c.finish()?;
+    chunk.func_name = def.name.clone();
+    chunk.func_span = def.span;
+    Ok(chunk)
 }
 
 /// Dedup key for the constant pool (`f64` keyed by bit pattern so `NaN`
@@ -262,6 +265,10 @@ impl Compiler {
             n_slots: self.n_slots as u16,
             n_loops: self.n_loops as u16,
             n_ics: self.n_ics as u16,
+            // Attribution is stamped by `compile_function` once the whole
+            // chunk is known-good.
+            func_name: None,
+            func_span: Span::dummy(aji_ast::FileId(0)),
         })
     }
 

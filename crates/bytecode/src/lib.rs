@@ -329,4 +329,146 @@ pub struct Chunk {
     pub n_loops: u16,
     /// Number of inline-cache sites.
     pub n_ics: u16,
+    /// Source name of the compiled function (`None` for anonymous
+    /// functions) — attribution for profilers and trace events, so a
+    /// chunk maps back to its function without re-walking the AST.
+    pub func_name: Option<String>,
+    /// Span of the compiled function definition (same attribution role).
+    pub func_span: aji_ast::Span,
+}
+
+/// Statically computed operand-stack high-water mark of an instruction
+/// stream.
+///
+/// The compiler's stack discipline fixes the operand-stack depth at
+/// every pc (each merge point is reached with one depth regardless of
+/// path), so the peak is a compile-time fact rather than something the
+/// dispatch loop must track per op. A worklist pass propagates the
+/// entry depth of 0 through fall-through and jump edges; the result is
+/// the maximum depth over all paths, so an execution that skips the
+/// deepest expression stays at or below the bound.
+#[must_use]
+pub fn max_stack(ops: &[Op]) -> u16 {
+    // Depth *before* each op; `i32::MIN` marks "not yet visited".
+    let mut depth_at = vec![i32::MIN; ops.len()];
+    let mut work: Vec<(usize, i32)> = vec![(0, 0)];
+    let mut max = 0i32;
+    while let Some((pc, d)) = work.pop() {
+        let Some(op) = ops.get(pc) else { continue };
+        if depth_at[pc] != i32::MIN {
+            debug_assert_eq!(depth_at[pc], d, "inconsistent stack depth at pc {pc}");
+            continue;
+        }
+        depth_at[pc] = d;
+        // Depth after the op, and its successors.
+        let nd = match op {
+            Op::Step
+            | Op::StepStep
+            | Op::LocalUndef(_)
+            | Op::StoreLocal(_)
+            | Op::StoreName(_)
+            | Op::TypeOf
+            | Op::UpdateLocal { .. }
+            | Op::UpdateName { .. }
+            | Op::Unary(_)
+            | Op::ToStr
+            | Op::GetProp { .. }
+            | Op::GetMethodDyn { .. }
+            | Op::LoopEnter(_)
+            | Op::IterCheck(_) => d,
+            Op::Const(_)
+            | Op::LoadLocal(_)
+            | Op::LoadName(_)
+            | Op::LoadGlobal
+            | Op::LoadThis
+            | Op::MakeObject { .. }
+            | Op::GetMethod { .. }
+            | Op::StepLoadLocal(_)
+            | Op::StepConst(_)
+            | Op::StepLoadName(_)
+            | Op::StepLoadLocalGetProp { .. } => d + 1,
+            Op::Pop
+            | Op::Binary(_)
+            | Op::SetLitProp { .. }
+            | Op::GetPropDyn { .. }
+            | Op::SetProp { .. }
+            | Op::StoreLocalPop(_) => d - 1,
+            Op::SetPropDyn { .. } | Op::SetPropPop { .. } => d - 2,
+            Op::Template { exprs, .. } => d + 1 - i32::from(*exprs),
+            Op::MakeArray { n, .. } => d + 1 - i32::from(*n),
+            Op::Call { argc, .. } | Op::New { argc, .. } => d - i32::from(*argc),
+            Op::CallMethod { argc, .. } => d - 1 - i32::from(*argc),
+            Op::Jump(t) => {
+                work.push((*t as usize, d));
+                continue;
+            }
+            Op::JumpIfFalse(t) => {
+                work.push((*t as usize, d - 1));
+                work.push((pc + 1, d - 1));
+                continue;
+            }
+            Op::JumpTruthyKeep(t) | Op::JumpFalsyKeep(t) | Op::JumpNotNullishKeep(t) => {
+                work.push((*t as usize, d));
+                work.push((pc + 1, d));
+                continue;
+            }
+            Op::TypeOfName { end, .. } => {
+                // Unbound path pushes `"undefined"` and jumps; the bound
+                // path falls through to the compiled operand read.
+                max = max.max(d + 1);
+                work.push((*end as usize, d + 1));
+                work.push((pc + 1, d));
+                continue;
+            }
+            // Terminators: pop (or not) and leave the function.
+            Op::Throw | Op::Return | Op::ReturnUndef => continue,
+        };
+        max = max.max(nd);
+        work.push((pc + 1, nd));
+    }
+    max.max(0).try_into().unwrap_or(u16::MAX)
+}
+
+#[cfg(test)]
+mod max_stack_tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_peak() {
+        // const, const, binary, return → depths 0,1,2,1.
+        let ops = vec![Op::Const(0), Op::Const(1), Op::Binary(BinaryOp::Add), Op::Return];
+        assert_eq!(max_stack(&ops), 2);
+    }
+
+    #[test]
+    fn branches_merge_at_one_depth() {
+        // cond ? a : b — both arms leave exactly one value.
+        let ops = vec![
+            Op::LoadLocal(0),       // 0 → 1
+            Op::JumpIfFalse(4),     // 1 → 0, else-target 4
+            Op::Const(0),           // 0 → 1
+            Op::Jump(5),            // join
+            Op::Const(1),           // 0 → 1
+            Op::Return,             // pops the result
+        ];
+        assert_eq!(max_stack(&ops), 1);
+    }
+
+    #[test]
+    fn call_pops_args_and_callee() {
+        let ops = vec![
+            Op::LoadName(0),                    // 0 → 1 (callee)
+            Op::Const(0),                       // 1 → 2
+            Op::Const(1),                       // 2 → 3
+            Op::Call { argc: 2, span: 0 },      // 3 → 1
+            Op::Pop,                            // 1 → 0
+            Op::ReturnUndef,
+        ];
+        assert_eq!(max_stack(&ops), 3);
+    }
+
+    #[test]
+    fn empty_stream_is_zero() {
+        assert_eq!(max_stack(&[]), 0);
+    }
 }

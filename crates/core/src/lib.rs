@@ -298,7 +298,7 @@ pub fn run_benchmark(
     // exactly this run, then fold it back into the enclosing registry.
     match aji_obs::current_registry() {
         Some(parent) => {
-            let reg = Arc::new(aji_obs::Registry::new());
+            let reg = Arc::new(aji_obs::Registry::new_like(&parent));
             let mut report = aji_obs::scoped(&reg, || run_pipeline(project, opts))?;
             let obs = reg.report();
             parent.absorb(&obs);

@@ -41,6 +41,7 @@ pub mod heap;
 mod machine;
 pub mod obs;
 mod prelude;
+mod profile;
 mod props;
 mod registry;
 mod stmts;

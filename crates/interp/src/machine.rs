@@ -9,6 +9,7 @@ use crate::env::{Scope, ScopeKind, ScopeRef};
 use crate::error::{BudgetKind, Flow, JsError};
 use crate::heap::{FuncData, Heap, ObjKind, Prop};
 use crate::obs::InterpObs;
+use crate::profile::Profiler;
 use crate::registry::FuncRegistry;
 use crate::tracer::{NoopTracer, Tracer};
 use crate::value::{ObjId, Value};
@@ -123,6 +124,13 @@ pub struct Interp {
     pub(crate) builtin_cache: HashMap<String, Value>,
     pub(crate) ids: NodeIdGen,
     pub(crate) steps: u64,
+    /// Steps already folded into the `interp.steps` counter; the
+    /// remainder is batched in on flush/reset (one atomic add instead of
+    /// one per step — the hot path stays counter-free).
+    pub(crate) steps_reported: u64,
+    /// Inline-cache hits not yet folded into `interp.ic_hits` (same
+    /// batching; a plain integer increment on the VM's hottest path).
+    pub(crate) ic_hits_pending: u64,
     pub(crate) depth: u32,
     pub(crate) eval_depth: u32,
     pub(crate) rng: u64,
@@ -138,6 +146,11 @@ pub struct Interp {
     /// Per-definition bytecode cache: `Some` holds the compiled chunk,
     /// `None` memoizes a compiler bail (the definition tree-walks forever).
     pub(crate) vm_cache: HashMap<aji_ast::NodeId, Option<Rc<crate::vm::VmCode>>>,
+    /// Step-attributed hot-function profiler, present only when the
+    /// registry active at construction carried a flight recorder with
+    /// profiling on. Flushed into that registry when the interpreter
+    /// drops (or explicitly via [`Interp::flush_profile`]).
+    pub(crate) profiler: Option<Box<Profiler>>,
 }
 
 impl Interp {
@@ -195,6 +208,12 @@ impl Interp {
         let global_scope = Scope::new(ScopeKind::Global, None);
         global_scope.borrow_mut().this_val = Some(Value::Obj(global_obj));
 
+        let obs = InterpObs::bind();
+        let profiler = obs
+            .recorder
+            .as_ref()
+            .filter(|r| r.config().profile)
+            .map(|_| Box::new(Profiler::new()));
         let mut interp = Interp {
             heap,
             opts,
@@ -202,7 +221,7 @@ impl Interp {
             registry,
             source_map: parsed.source_map,
             console: Vec::new(),
-            obs: InterpObs::bind(),
+            obs,
             modules: parsed.modules,
             paths: project.files.iter().map(|f| f.path.clone()).collect(),
             project_file_count,
@@ -225,6 +244,8 @@ impl Interp {
             builtin_cache: HashMap::new(),
             ids: parsed.ids,
             steps: 0,
+            steps_reported: 0,
+            ic_hits_pending: 0,
             depth: 0,
             eval_depth: 0,
             rng: 0x9E37_79B9_7F4A_7C15,
@@ -233,6 +254,7 @@ impl Interp {
             pending_label: None,
             budget_tripped: false,
             vm_cache: HashMap::new(),
+            profiler,
         };
         builtins::install(&mut interp);
         interp
@@ -261,8 +283,33 @@ impl Interp {
     /// Resets the step budget (the approximate interpreter resets it per
     /// worklist item so one long-running module cannot starve the rest).
     pub fn reset_steps(&mut self) {
+        // Settle everything owed at the old counter value, then re-base:
+        // the batched `interp.steps` delta and the profiler's mark both
+        // use delta accounting against `self.steps`.
+        self.flush_batched_counters();
+        let now = self.steps;
+        if let Some(p) = self.profiler.as_deref_mut() {
+            p.sync(now);
+            p.rebase(0);
+        }
         self.steps = 0;
+        self.steps_reported = 0;
         self.budget_tripped = false;
+    }
+
+    /// Folds the batched hot-path tallies (steps, IC hits) into their
+    /// observability counters. Called on flush/drop and before any
+    /// re-basing of `self.steps`; hot paths only bump plain integers.
+    fn flush_batched_counters(&mut self) {
+        let d = self.steps - self.steps_reported;
+        if d > 0 {
+            self.obs.steps.add(d);
+            self.steps_reported = self.steps;
+        }
+        if self.ic_hits_pending > 0 {
+            self.obs.ic_hits.add(self.ic_hits_pending);
+            self.ic_hits_pending = 0;
+        }
     }
 
     /// Raises a budget error, counting the exhaustion once per run: the
@@ -274,8 +321,69 @@ impl Interp {
         if !self.budget_tripped {
             self.budget_tripped = true;
             self.obs.budget_exhaustions.inc();
+            let name = match kind {
+                BudgetKind::Steps => "steps",
+                BudgetKind::Stack => "stack",
+                BudgetKind::Loop => "loop",
+            };
+            self.trace(aji_obs::TraceKind::BudgetTrip, name, "");
         }
         JsError::Budget(kind)
+    }
+
+    /// Records a flight-recorder event stamped with the current step
+    /// index, when the construction-time registry had a recorder.
+    #[cold]
+    pub(crate) fn trace(&self, kind: aji_obs::TraceKind, name: &str, detail: &str) {
+        if let Some(rec) = &self.obs.recorder {
+            rec.record_at(self.steps, kind, name, detail);
+        }
+    }
+
+    /// Human-readable profile/trace key of a function: `name@file:line`
+    /// (`<anon>` for unnamed functions).
+    pub(crate) fn fn_display_key(&self, name: Option<&str>, span: Span) -> String {
+        let loc = self.source_map.loc(span);
+        let file = &self.source_map.file(span.file).path;
+        format!("{}@{}:{}", name.unwrap_or("<anon>"), file, loc.line)
+    }
+
+    /// Pushes a profiled call frame for `def` (no-op without a profiler).
+    #[cold]
+    fn profile_enter(&mut self, def: &Rc<Function>) {
+        let now = self.steps;
+        if let Some(mut p) = self.profiler.take() {
+            p.enter(def.id, now, || {
+                self.fn_display_key(def.name.as_deref(), def.span)
+            });
+            self.profiler = Some(p);
+        }
+    }
+
+    /// Pops the current profiled call frame (no-op without a profiler).
+    #[cold]
+    fn profile_exit(&mut self) {
+        let now = self.steps;
+        if let Some(p) = self.profiler.as_deref_mut() {
+            p.exit(now);
+        }
+    }
+
+    /// Flushes the hot-function profile and heap gauge into the registry
+    /// bound at construction. Runs automatically on drop; calling it
+    /// earlier flushes once and disarms the drop hook.
+    pub fn flush_profile(&mut self) {
+        self.flush_batched_counters();
+        let Some(reg) = self.obs.registry.clone() else {
+            return;
+        };
+        if self.obs.recorder.is_some() {
+            reg.gauge_max("interp.peak_heap_objects", self.heap.len() as u64);
+        }
+        let now = self.steps;
+        if let Some(mut p) = self.profiler.take() {
+            p.flush(now, &reg);
+        }
     }
 
     /// Creates the receiver wrapper of §3: an object that behaves like
@@ -311,7 +419,6 @@ impl Interp {
     #[inline]
     pub(crate) fn step(&mut self) -> Result<(), JsError> {
         self.steps += 1;
-        self.obs.steps.inc();
         if self.steps > self.opts.max_steps {
             Err(self.trip_budget(BudgetKind::Steps))
         } else {
@@ -659,7 +766,14 @@ impl Interp {
             return Err(self.trip_budget(BudgetKind::Stack));
         }
         self.obs.calls.inc();
+        let profiled = self.profiler.is_some();
+        if profiled {
+            self.profile_enter(&data.def);
+        }
         let result = self.call_closure_inner(fobj, data, this, args, call_site);
+        if profiled {
+            self.profile_exit();
+        }
         self.depth -= 1;
         result
     }
@@ -906,6 +1020,16 @@ impl Interp {
         x ^= x << 17;
         self.rng = x;
         (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Drop for Interp {
+    /// Flushes the hot-function profile (when profiling was on) so
+    /// pipeline code never has to remember to; the registry handle was
+    /// captured at construction, so the flush lands correctly even after
+    /// the installing scope popped.
+    fn drop(&mut self) {
+        self.flush_profile();
     }
 }
 

@@ -7,7 +7,9 @@
 //! a single relaxed atomic add — and a no-op branch when observability is
 //! off.
 
-use aji_obs::{counter, Counter};
+use std::sync::Arc;
+
+use aji_obs::{counter, Counter, Registry, TraceRecorder};
 
 /// Cached counter handles for the interpreter's hot paths.
 #[derive(Debug, Default)]
@@ -34,12 +36,22 @@ pub struct InterpObs {
     pub vm_compiles: Counter,
     /// Function bodies rejected by the bytecode compiler (tree-walked).
     pub vm_bails: Counter,
+    /// The registry active at construction, kept so deferred flushes
+    /// (profiler drop, gauges) land in the right place even after the
+    /// scope that installed it pops.
+    pub registry: Option<Arc<Registry>>,
+    /// The registry's flight recorder, when one is installed — the sink
+    /// for budget-trip, VM compile/bail and IC-miss trace events, each
+    /// stamped with the interpreter's step index.
+    pub recorder: Option<Arc<TraceRecorder>>,
 }
 
 impl InterpObs {
     /// Binds handles against the currently active registry (no-op handles
     /// when observability is inactive).
     pub fn bind() -> InterpObs {
+        let registry = aji_obs::current_registry();
+        let recorder = registry.as_ref().and_then(|r| r.recorder());
         InterpObs {
             steps: counter("interp.steps"),
             calls: counter("interp.calls"),
@@ -51,6 +63,8 @@ impl InterpObs {
             ic_misses: counter("interp.ic_misses"),
             vm_compiles: counter("interp.vm_compiles"),
             vm_bails: counter("interp.vm_bails"),
+            registry,
+            recorder,
         }
     }
 }

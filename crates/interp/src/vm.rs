@@ -56,6 +56,13 @@ pub(crate) struct VmCode {
     chunk: Chunk,
     consts: Vec<Value>,
     ics: Vec<Cell<IcEntry>>,
+    /// Display key of the compiled function (`name@file:line`), used to
+    /// label flight-recorder events and IC-miss site counters.
+    func_key: String,
+    /// Static operand-stack high-water mark of the chunk
+    /// ([`aji_bytecode::max_stack`]) — lets the profiler report peak VM
+    /// stack depth without the dispatch loop tracking it per op.
+    max_stack: u16,
 }
 
 /// Type-specialized fast path for `Op::Binary` on two numbers,
@@ -112,6 +119,8 @@ impl Interp {
         let entry = match compiled {
             Ok(chunk) => {
                 self.obs.vm_compiles.inc();
+                let func_key = self.fn_display_key(chunk.func_name.as_deref(), chunk.func_span);
+                self.trace(aji_obs::TraceKind::VmCompile, &func_key, "");
                 let consts = chunk
                     .consts
                     .iter()
@@ -124,14 +133,25 @@ impl Interp {
                     })
                     .collect();
                 let ics = (0..chunk.n_ics).map(|_| Cell::new(IC_EMPTY)).collect();
+                let max_stack = aji_bytecode::max_stack(&chunk.ops);
                 Some(Rc::new(VmCode {
                     chunk,
                     consts,
                     ics,
+                    func_key,
+                    max_stack,
                 }))
             }
-            Err(_) => {
+            Err(bail) => {
                 self.obs.vm_bails.inc();
+                if self.profiler.is_some() || self.obs.recorder.is_some() {
+                    let key = self.fn_display_key(def.name.as_deref(), def.span);
+                    self.trace(aji_obs::TraceKind::VmBail, &key, bail.0);
+                    if let Some(mut p) = self.profiler.take() {
+                        p.bail(def.id, || key);
+                        self.profiler = Some(p);
+                    }
+                }
                 None
             }
         };
@@ -144,6 +164,17 @@ impl Interp {
     /// value; JS exceptions and budget errors propagate as `Err` exactly
     /// like the tree-walker's.
     pub(crate) fn run_vm(&mut self, code: &VmCode, scope: &ScopeRef) -> Result<Value, JsError> {
+        if let Some(p) = self.profiler.as_deref_mut() {
+            // The chunk's statically computed stack bound stands in for
+            // runtime tracking: depth at every pc is a compile-time
+            // fact, so the dispatch loop stays observation-free.
+            p.track_vm_stack(u64::from(code.max_stack));
+        }
+        self.run_vm_inner(code, scope)
+    }
+
+    /// The dispatch loop proper.
+    fn run_vm_inner(&mut self, code: &VmCode, scope: &ScopeRef) -> Result<Value, JsError> {
         let chunk = &code.chunk;
         let mut slots: Vec<Value> = vec![Value::Undefined; chunk.n_slots as usize];
         {
@@ -430,13 +461,16 @@ impl Interp {
                     if &**k == name {
                         if let PropValue::Data(v) = &p.value {
                             let v = v.clone();
-                            self.obs.ic_hits.inc();
+                            self.ic_hits_pending += 1;
+                            if let Some(p) = self.profiler.as_deref_mut() {
+                                p.ic_hit();
+                            }
                             return Ok(v);
                         }
                     }
                 }
             }
-            self.obs.ic_misses.inc();
+            self.ic_miss(code, ic, name);
             let v = self.get_property(base.clone(), name, None)?;
             // Patch: cache own data properties of plain objects only.
             // Arrays and functions synthesize properties (`length`, lazy
@@ -454,7 +488,7 @@ impl Interp {
             }
             return Ok(v);
         }
-        self.obs.ic_misses.inc();
+        self.ic_miss(code, ic, name);
         self.get_property(base.clone(), name, None)
     }
 
@@ -480,10 +514,13 @@ impl Interp {
                     .props
                     .replace_data_at(e.slot as usize, name, v.clone())
             {
-                self.obs.ic_hits.inc();
+                self.ic_hits_pending += 1;
+                if let Some(p) = self.profiler.as_deref_mut() {
+                    p.ic_hit();
+                }
                 return Ok(());
             }
-            self.obs.ic_misses.inc();
+            self.ic_miss(code, ic, name);
             self.set_property(base, name, v)?;
             let o = self.heap.get(id);
             if matches!(o.kind, ObjKind::Plain) {
@@ -498,7 +535,23 @@ impl Interp {
             }
             return Ok(());
         }
-        self.obs.ic_misses.inc();
+        self.ic_miss(code, ic, name);
         self.set_property(base, name, v)
+    }
+
+    /// The IC miss path's bookkeeping: the global miss counter, the
+    /// profiler's per-frame and per-site tallies, and an `IcMiss` trace
+    /// event keyed `function@file:line:prop#ic`. Cold — the benchmark
+    /// workload takes this path ~1k times against ~17M hits.
+    #[cold]
+    fn ic_miss(&mut self, code: &VmCode, ic: u16, name: &str) {
+        self.obs.ic_misses.inc();
+        if let Some(p) = self.profiler.as_deref_mut() {
+            p.ic_miss(name, ic);
+        }
+        if self.obs.recorder.is_some() {
+            let site = format!("{}:{name}#{ic}", code.func_key);
+            self.trace(aji_obs::TraceKind::IcMiss, &site, "");
+        }
     }
 }

@@ -53,15 +53,30 @@
 //! per-phase percentages and top-N counters via [`render_text`] — the
 //! format the `aji-report` binary prints.
 
+//! # The flight recorder
+//!
+//! Beyond aggregates, a registry can carry a [`TraceRecorder`] — a
+//! fixed-capacity ring of structured [`TraceEvent`]s (span begin/end, VM
+//! compile/bail, IC miss, budget trip, oracle finding, hint application),
+//! each stamped with a wall-clock offset *and* the interpreter step index.
+//! In [`TraceConfig::deterministic`] mode the wall clock is zeroed, making
+//! event streams byte-identical across thread counts and reruns; see the
+//! [`trace`] module docs for the clock semantics. Registries also carry
+//! [gauges](gauge_max) (peak-value metrics such as
+//! [peak RSS](record_peak_rss), merged by maximum on
+//! [`Registry::absorb`]).
+
 #![warn(missing_docs)]
 
 mod registry;
 mod render;
 mod report;
+pub mod trace;
 
 pub use registry::{
-    counter, counter_add, current_registry, enabled, force_enable, histogram_record, scoped, span,
-    Counter, Registry, SpanGuard,
+    counter, counter_add, current_registry, enabled, force_enable, gauge_max, histogram_record,
+    record_peak_rss, scoped, span, trace_event, trace_recorder, Counter, Registry, SpanGuard,
 };
 pub use render::{render_text, RenderOptions};
-pub use report::{CounterRecord, HistogramRecord, ObsReport, SpanRecord};
+pub use report::{CounterRecord, GaugeRecord, HistogramRecord, ObsReport, SpanRecord};
+pub use trace::{TraceConfig, TraceEvent, TraceKind, TraceRecorder, TraceReport};

@@ -1,7 +1,8 @@
 //! The collector: thread-safe [`Registry`], cheap recording handles, and
 //! the thread-local scope machinery that routes events to a registry.
 
-use crate::report::{CounterRecord, HistogramRecord, ObsReport, SpanRecord};
+use crate::report::{CounterRecord, GaugeRecord, HistogramRecord, ObsReport, SpanRecord};
+use crate::trace::{TraceConfig, TraceKind, TraceRecorder};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -56,12 +57,63 @@ pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     hists: Mutex<BTreeMap<String, Arc<Hist>>>,
     spans: Mutex<BTreeMap<String, SpanStat>>,
+    gauges: Mutex<BTreeMap<String, u64>>,
+    recorder: OnceLock<Arc<TraceRecorder>>,
 }
 
 impl Registry {
     /// Creates an empty registry.
     pub fn new() -> Registry {
         Registry::default()
+    }
+
+    /// Creates an empty registry with a flight recorder attached.
+    #[must_use]
+    pub fn with_recorder(config: TraceConfig) -> Registry {
+        let reg = Registry::new();
+        let _ = reg.install_recorder(config);
+        reg
+    }
+
+    /// Creates an empty registry inheriting `other`'s recorder
+    /// *configuration* (with a fresh, empty recorder). This is how
+    /// per-worker and per-run child registries keep tracing on when the
+    /// enclosing registry records traces, without sharing a ring across
+    /// threads.
+    #[must_use]
+    pub fn new_like(other: &Registry) -> Registry {
+        match other.recorder() {
+            Some(rec) => Registry::with_recorder(*rec.config()),
+            None => Registry::new(),
+        }
+    }
+
+    /// Attaches a flight recorder (idempotent: the first configuration
+    /// wins, later calls return the already-installed recorder).
+    pub fn install_recorder(&self, config: TraceConfig) -> Arc<TraceRecorder> {
+        self.recorder
+            .get_or_init(|| Arc::new(TraceRecorder::new(config)))
+            .clone()
+    }
+
+    /// The attached flight recorder, if any.
+    #[must_use]
+    pub fn recorder(&self) -> Option<Arc<TraceRecorder>> {
+        self.recorder.get().cloned()
+    }
+
+    /// Records `value` into the named gauge, keeping the **maximum** seen
+    /// — the right merge for peak measurements (RSS, stack depth).
+    pub fn gauge_max(&self, name: &str, value: u64) {
+        let mut map = self.gauges.lock().unwrap();
+        let g = map.entry(name.to_string()).or_insert(0);
+        *g = (*g).max(value);
+    }
+
+    /// Adds `n` to the named counter (cold-path form; hot paths hold a
+    /// [`Counter`] handle from [`counter`] instead).
+    pub fn counter_add(&self, name: &str, n: u64) {
+        self.counter_cell(name).fetch_add(n, Ordering::Relaxed);
     }
 
     /// Returns the counter cell named `name`, creating it at zero.
@@ -136,10 +188,23 @@ impl Registry {
                     .collect(),
             })
             .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, v)| GaugeRecord {
+                name: name.clone(),
+                value: *v,
+            })
+            .collect();
+        let trace = self.recorder().map(|rec| rec.report());
         ObsReport {
             spans,
             counters,
             histograms,
+            gauges,
+            trace,
         }
     }
 
@@ -165,6 +230,12 @@ impl Registry {
                     b.fetch_add(*n, Ordering::Relaxed);
                 }
             }
+        }
+        for g in &report.gauges {
+            self.gauge_max(&g.name, g.value);
+        }
+        if let (Some(rec), Some(trace)) = (self.recorder.get(), &report.trace) {
+            rec.absorb(trace);
         }
     }
 }
@@ -303,6 +374,48 @@ pub fn histogram_record(name: &str, value: u64) {
     }
 }
 
+/// Records `value` into the named gauge of the current registry, keeping
+/// the maximum seen (peak semantics).
+pub fn gauge_max(name: &str, value: u64) {
+    if let Some((reg, _)) = current() {
+        reg.gauge_max(name, value);
+    }
+}
+
+/// The flight recorder of the current registry, if the current registry
+/// has one installed. Cold sites that emit several events in a row should
+/// fetch this once instead of calling [`trace_event`] repeatedly.
+#[must_use]
+pub fn trace_recorder() -> Option<Arc<TraceRecorder>> {
+    current().and_then(|(reg, _)| reg.recorder())
+}
+
+/// Records a trace event into the current registry's recorder, if any
+/// (cold-path convenience: one registry lookup per call).
+pub fn trace_event(kind: TraceKind, name: &str, detail: &str) {
+    if let Some(rec) = trace_recorder() {
+        rec.record(kind, name, detail);
+    }
+}
+
+/// Reads the process's peak resident set size (`VmHWM` from
+/// `/proc/self/status`, in kB) into the `process.peak_rss_kb` gauge of the
+/// current registry. Returns the value read, or `None` when the procfs
+/// field is unavailable (non-Linux) or no registry is active.
+pub fn record_peak_rss() -> Option<u64> {
+    let (reg, _) = current()?;
+    let kb = peak_rss_kb()?;
+    reg.gauge_max("process.peak_rss_kb", kb);
+    Some(kb)
+}
+
+/// Parses `VmHWM` (peak RSS, kB) out of `/proc/self/status`.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
 /// A timed hierarchical span. Created by [`span`]; records its elapsed
 /// wall-clock time under `parent/…/name` when dropped (or when
 /// [`SpanGuard::finish`] is called, which also returns the elapsed time).
@@ -316,6 +429,9 @@ pub struct SpanGuard {
     start: Instant,
     /// Registry to record into and the span-path base depth, when active.
     rec: Option<(Arc<Registry>, usize)>,
+    /// Flight recorder to emit the matching `SpanEnd` into, when the
+    /// registry had one at open time.
+    trace: Option<(Arc<TraceRecorder>, &'static str)>,
     done: bool,
 }
 
@@ -323,12 +439,17 @@ pub struct SpanGuard {
 /// while this guard is live record under `name/…`.
 pub fn span(name: &'static str) -> SpanGuard {
     let rec = current();
+    let trace = rec.as_ref().and_then(|(reg, _)| reg.recorder()).map(|t| {
+        t.record(TraceKind::SpanBegin, name, "");
+        (t, name)
+    });
     if rec.is_some() {
         SPAN_STACK.with(|s| s.borrow_mut().push(name));
     }
     SpanGuard {
         start: Instant::now(),
         rec,
+        trace,
         done: false,
     }
 }
@@ -351,6 +472,9 @@ impl SpanGuard {
             return;
         }
         self.done = true;
+        if let Some((t, name)) = self.trace.take() {
+            t.record(TraceKind::SpanEnd, name, "");
+        }
         if let Some((reg, base)) = self.rec.take() {
             let path = SPAN_STACK.with(|s| {
                 let mut stack = s.borrow_mut();
@@ -469,6 +593,78 @@ mod tests {
         assert_eq!(rep.spans[0].count, 2);
         assert_eq!(rep.histograms[0].count, 2);
         assert_eq!(rep.histograms[0].sum, 8);
+    }
+
+    #[test]
+    fn gauges_keep_maximum_and_absorb_merges_by_max() {
+        let a = Arc::new(Registry::new());
+        let b = Arc::new(Registry::new());
+        a.gauge_max("peak", 10);
+        a.gauge_max("peak", 4);
+        b.gauge_max("peak", 7);
+        scoped(&a, || gauge_max("peak", 9));
+        assert_eq!(a.report().gauge("peak"), Some(10));
+        b.absorb(&a.report());
+        assert_eq!(b.report().gauge("peak"), Some(10));
+    }
+
+    #[test]
+    fn spans_emit_trace_events_when_recorder_installed() {
+        let reg = Arc::new(Registry::with_recorder(TraceConfig::deterministic()));
+        scoped(&reg, || {
+            let _a = span("outer");
+            let _b = span("inner");
+        });
+        let trace = reg.report().trace.unwrap();
+        let seq: Vec<(&str, &str)> = trace
+            .events
+            .iter()
+            .map(|e| (e.kind.key(), e.name.as_str()))
+            .collect();
+        assert_eq!(
+            seq,
+            vec![
+                ("span_begin", "outer"),
+                ("span_begin", "inner"),
+                ("span_end", "inner"),
+                ("span_end", "outer"),
+            ]
+        );
+    }
+
+    #[test]
+    fn new_like_inherits_recorder_config_with_fresh_ring() {
+        let parent = Registry::with_recorder(TraceConfig::deterministic());
+        parent.recorder().unwrap().record(TraceKind::IcMiss, "x", "");
+        let child = Registry::new_like(&parent);
+        let rec = child.recorder().expect("child inherits recorder");
+        assert!(rec.config().deterministic);
+        assert!(rec.report().events.is_empty());
+        assert!(Registry::new_like(&Registry::new()).recorder().is_none());
+    }
+
+    #[test]
+    fn absorb_appends_child_trace_in_order() {
+        let parent = Arc::new(Registry::with_recorder(TraceConfig::deterministic()));
+        let child = Registry::new_like(&parent);
+        child
+            .recorder()
+            .unwrap()
+            .record_at(5, TraceKind::BudgetTrip, "steps", "");
+        parent.absorb(&child.report());
+        let trace = parent.report().trace.unwrap();
+        assert_eq!(trace.events.len(), 1);
+        assert_eq!(trace.events[0].step, 5);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn peak_rss_gauge_reads_procfs() {
+        let reg = Arc::new(Registry::new());
+        let read = scoped(&reg, record_peak_rss);
+        let kb = read.expect("VmHWM available on Linux");
+        assert!(kb > 0);
+        assert_eq!(reg.report().gauge("process.peak_rss_kb"), Some(kb));
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Text rendering of an [`ObsReport`]: an indented span tree with
-//! per-phase percentages, the top-N counters, and histogram summaries.
+//! per-phase percentages, the top-N counters, hot-function and IC-miss
+//! tables, gauges, and histogram summaries.
 
 use crate::report::{ObsReport, SpanRecord};
+use std::collections::BTreeMap;
 use std::fmt::Write;
 
 /// Options for [`render_text`].
@@ -9,12 +11,51 @@ use std::fmt::Write;
 pub struct RenderOptions {
     /// How many counters to print (largest first).
     pub top_counters: usize,
+    /// How many rows of the hot-function and IC-miss-site tables to print.
+    pub top_functions: usize,
 }
 
 impl Default for RenderOptions {
     fn default() -> Self {
-        RenderOptions { top_counters: 20 }
+        RenderOptions {
+            top_counters: 20,
+            top_functions: 10,
+        }
     }
+}
+
+/// Per-function metrics flushed by the interpreter's profiler, keyed by
+/// `profile.fn.<metric>.<function-key>` counters.
+const FN_METRICS: [&str; 5] = ["steps", "calls", "ic_hits", "ic_misses", "bails"];
+
+/// Counter-name prefix of the step-attributed hot-function profile.
+const FN_PREFIX: &str = "profile.fn.";
+/// Counter-name prefix of per-site IC-miss attribution.
+const IC_SITE_PREFIX: &str = "interp.ic_miss_site.";
+
+fn is_table_counter(name: &str) -> bool {
+    name.starts_with(FN_PREFIX) || name.starts_with(IC_SITE_PREFIX)
+}
+
+/// Groups `profile.fn.<metric>.<key>` counters into per-function rows of
+/// `[steps, calls, ic_hits, ic_misses, bails]`.
+fn hot_functions(report: &ObsReport) -> Vec<(String, [u64; 5])> {
+    let mut rows: BTreeMap<String, [u64; 5]> = BTreeMap::new();
+    for c in &report.counters {
+        let Some(rest) = c.name.strip_prefix(FN_PREFIX) else {
+            continue;
+        };
+        let Some((metric, key)) = rest.split_once('.') else {
+            continue;
+        };
+        let Some(idx) = FN_METRICS.iter().position(|m| *m == metric) else {
+            continue;
+        };
+        rows.entry(key.to_string()).or_default()[idx] += c.value;
+    }
+    let mut rows: Vec<_> = rows.into_iter().collect();
+    rows.sort_by(|a, b| b.1[0].cmp(&a.1[0]).then_with(|| a.0.cmp(&b.0)));
+    rows
 }
 
 /// Renders a report as human-readable text: the span tree (each node with
@@ -33,15 +74,51 @@ pub fn render_text(report: &ObsReport, opts: &RenderOptions) -> String {
         }
     }
 
+    let hot = hot_functions(report);
+    if !hot.is_empty() {
+        out.push_str("\nhot functions (by interpreter steps):\n");
+        let width = hot
+            .iter()
+            .take(opts.top_functions)
+            .map(|(k, _)| k.len())
+            .max()
+            .unwrap_or(0)
+            .max(8);
+        let _ = writeln!(
+            out,
+            "  {:<width$}  {:>14} {:>10} {:>12} {:>10} {:>6}",
+            "function", "steps", "calls", "ic_hits", "ic_miss", "bails"
+        );
+        for (key, m) in hot.iter().take(opts.top_functions) {
+            let _ = writeln!(
+                out,
+                "  {:<width$}  {:>14} {:>10} {:>12} {:>10} {:>6}",
+                key,
+                group_digits(m[0]),
+                group_digits(m[1]),
+                group_digits(m[2]),
+                group_digits(m[3]),
+                group_digits(m[4]),
+            );
+        }
+    }
+
+    // Generic counters, excluding the per-function / per-site families
+    // rendered as tables above and below.
+    let generic: Vec<_> = report
+        .counters
+        .iter()
+        .filter(|c| !is_table_counter(&c.name))
+        .collect();
     out.push_str(&format!(
         "\ntop counters ({} of {}):\n",
-        opts.top_counters.min(report.counters.len()),
-        report.counters.len()
+        opts.top_counters.min(generic.len()),
+        generic.len()
     ));
-    if report.counters.is_empty() {
+    if generic.is_empty() {
         out.push_str("  (none recorded)\n");
     } else {
-        let mut counters: Vec<_> = report.counters.iter().collect();
+        let mut counters = generic;
         counters.sort_by(|a, b| b.value.cmp(&a.value).then_with(|| a.name.cmp(&b.name)));
         let width = counters
             .iter()
@@ -51,6 +128,27 @@ pub fn render_text(report: &ObsReport, opts: &RenderOptions) -> String {
             .unwrap_or(0);
         for c in counters.iter().take(opts.top_counters) {
             let _ = writeln!(out, "  {:<width$}  {:>12}", c.name, group_digits(c.value));
+        }
+    }
+
+    let mut sites: Vec<_> = report
+        .counters
+        .iter()
+        .filter_map(|c| c.name.strip_prefix(IC_SITE_PREFIX).map(|s| (s, c.value)))
+        .collect();
+    if !sites.is_empty() {
+        sites.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        out.push_str("\nic-miss sites:\n");
+        for (site, n) in sites.iter().take(opts.top_functions) {
+            let _ = writeln!(out, "  {:<40}  {:>8}", site, group_digits(*n));
+        }
+    }
+
+    if !report.gauges.is_empty() {
+        out.push_str("\ngauges (peaks):\n");
+        let width = report.gauges.iter().map(|g| g.name.len()).max().unwrap_or(0);
+        for g in &report.gauges {
+            let _ = writeln!(out, "  {:<width$}  {:>12}", g.name, group_digits(g.value));
         }
     }
 
@@ -67,6 +165,15 @@ pub fn render_text(report: &ObsReport, opts: &RenderOptions) -> String {
                 group_digits(h.percentile_bound(95.0)),
             );
         }
+    }
+
+    if let Some(trace) = &report.trace {
+        let _ = writeln!(
+            out,
+            "\ntrace: {} events recorded, {} dropped (export with --chrome-trace)",
+            group_digits(trace.events.len() as u64),
+            group_digits(trace.dropped),
+        );
     }
     out
 }
@@ -191,11 +298,57 @@ mod tests {
                 name: "c".into(),
                 value: 1,
             }],
-            histograms: vec![],
+            ..ObsReport::default()
         };
         let text = render_text(&report, &RenderOptions::default());
         let slow = text.find("slow").unwrap();
         let fast = text.find("fast").unwrap();
         assert!(slow < fast, "hot child first:\n{text}");
+    }
+
+    #[test]
+    fn profile_counters_render_as_table_not_counters() {
+        let mk = |name: &str, value: u64| CounterRecord {
+            name: name.into(),
+            value,
+        };
+        let report = ObsReport {
+            counters: vec![
+                mk("profile.fn.steps.hot@index.js:3", 900),
+                mk("profile.fn.steps.cold@index.js:9", 10),
+                mk("profile.fn.calls.hot@index.js:3", 25),
+                mk("profile.fn.ic_misses.hot@index.js:3", 3),
+                mk("interp.ic_miss_site.hot@index.js:3:x#0", 3),
+                mk("interp.steps", 910),
+            ],
+            ..ObsReport::default()
+        };
+        let text = render_text(&report, &RenderOptions::default());
+        assert!(text.contains("hot functions"));
+        assert!(text.contains("ic-miss sites"));
+        // The table families are excluded from the generic counter list.
+        assert!(text.contains("top counters (1 of 1)"), "{text}");
+        // Hottest function first.
+        let hot = text.find("hot@index.js:3").unwrap();
+        let cold = text.find("cold@index.js:9").unwrap();
+        assert!(hot < cold);
+    }
+
+    #[test]
+    fn gauges_and_trace_sections_render() {
+        use crate::report::GaugeRecord;
+        use crate::trace::TraceReport;
+        let report = ObsReport {
+            gauges: vec![GaugeRecord {
+                name: "process.peak_rss_kb".into(),
+                value: 12_345,
+            }],
+            trace: Some(TraceReport::default()),
+            ..ObsReport::default()
+        };
+        let text = render_text(&report, &RenderOptions::default());
+        assert!(text.contains("gauges (peaks):"));
+        assert!(text.contains("12,345"));
+        assert!(text.contains("trace: 0 events recorded, 0 dropped"));
     }
 }

@@ -1,6 +1,7 @@
 //! The serializable snapshot: [`ObsReport`] and its records, with full
 //! JSON round-trip support via `aji-support`.
 
+use crate::trace::TraceReport;
 use aji_support::{FromJson, Json, JsonError, ToJson};
 
 /// Aggregated timing of one span path (e.g. `"pipeline/baseline-pta/solve"`).
@@ -40,6 +41,17 @@ pub struct CounterRecord {
     /// Counter name (e.g. `"interp.steps"`).
     pub name: String,
     /// Accumulated value.
+    pub value: u64,
+}
+
+/// Final value of one named gauge (peak semantics: the registry keeps the
+/// maximum value recorded, and [`Registry::absorb`](crate::Registry::absorb)
+/// merges by maximum).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GaugeRecord {
+    /// Gauge name (e.g. `"process.peak_rss_kb"`).
+    pub name: String,
+    /// Peak value recorded.
     pub value: u64,
 }
 
@@ -101,6 +113,12 @@ pub struct ObsReport {
     pub counters: Vec<CounterRecord>,
     /// Histograms, sorted by name.
     pub histograms: Vec<HistogramRecord>,
+    /// Gauges (peak values), sorted by name. Serialized only when
+    /// non-empty, so reports without gauges keep their PR 3 byte layout.
+    pub gauges: Vec<GaugeRecord>,
+    /// Flight-recorder snapshot, present when the registry had a recorder
+    /// installed. Serialized only when present.
+    pub trace: Option<TraceReport>,
 }
 
 impl ObsReport {
@@ -111,6 +129,12 @@ impl ObsReport {
             .iter()
             .find(|c| c.name == name)
             .map(|c| c.value)
+    }
+
+    /// Value of the named gauge, if recorded.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
     }
 
     /// The span record whose path ends with `name` (matching a whole
@@ -212,13 +236,41 @@ impl FromJson for HistogramRecord {
     }
 }
 
-impl ToJson for ObsReport {
+impl ToJson for GaugeRecord {
     fn to_json(&self) -> Json {
         Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("value", self.value.to_json()),
+        ])
+    }
+}
+
+impl FromJson for GaugeRecord {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(GaugeRecord {
+            name: String::from_json(get(v, "name")?)?,
+            value: u64::from_json(get(v, "value")?)?,
+        })
+    }
+}
+
+impl ToJson for ObsReport {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
             ("spans", self.spans.to_json()),
             ("counters", self.counters.to_json()),
             ("histograms", self.histograms.to_json()),
-        ])
+        ];
+        // Both additions are omitted when absent so pre-flight-recorder
+        // reports (and registries without gauges or a recorder) keep the
+        // exact JSON bytes older tooling pins.
+        if !self.gauges.is_empty() {
+            fields.push(("gauges", self.gauges.to_json()));
+        }
+        if let Some(trace) = &self.trace {
+            fields.push(("trace", trace.to_json()));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -228,6 +280,14 @@ impl FromJson for ObsReport {
             spans: Vec::from_json(get(v, "spans")?)?,
             counters: Vec::from_json(get(v, "counters")?)?,
             histograms: Vec::from_json(get(v, "histograms")?)?,
+            gauges: match v.get("gauges") {
+                Some(g) => Vec::from_json(g)?,
+                None => Vec::new(),
+            },
+            trace: match v.get("trace") {
+                Some(t) => Some(TraceReport::from_json(t)?),
+                None => None,
+            },
         })
     }
 }
@@ -260,6 +320,8 @@ mod tests {
                 sum: 10,
                 buckets: vec![(0, 1), (3, 2)],
             }],
+            gauges: Vec::new(),
+            trace: None,
         }
     }
 
@@ -268,6 +330,37 @@ mod tests {
         let r = sample();
         let back = ObsReport::from_json_str(&r.to_json_string()).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn empty_gauges_and_trace_are_omitted_from_json() {
+        let text = sample().to_json_string();
+        assert!(!text.contains("\"gauges\""));
+        assert!(!text.contains("\"trace\""));
+    }
+
+    #[test]
+    fn gauges_and_trace_roundtrip_when_present() {
+        use crate::trace::{TraceEvent, TraceKind, TraceReport};
+        let mut r = sample();
+        r.gauges = vec![GaugeRecord {
+            name: "process.peak_rss_kb".into(),
+            value: 4096,
+        }];
+        r.trace = Some(TraceReport {
+            events: vec![TraceEvent {
+                step: 3,
+                wall_ns: 0,
+                kind: TraceKind::HintApply,
+                name: "dpw".into(),
+                detail: "prop".into(),
+            }],
+            dropped: 0,
+        });
+        let back = ObsReport::from_json_str(&r.to_json_string()).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.gauge("process.peak_rss_kb"), Some(4096));
+        assert_eq!(back.gauge("missing"), None);
     }
 
     #[test]

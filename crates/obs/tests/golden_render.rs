@@ -47,6 +47,7 @@ fn fixture() -> ObsReport {
             sum: 9,
             buckets: vec![(0, 1), (3, 2)],
         }],
+        ..ObsReport::default()
     }
 }
 
@@ -67,7 +68,10 @@ histograms:
 
 #[test]
 fn rendering_matches_golden() {
-    let text = render_text(&fixture(), &RenderOptions { top_counters: 2 });
+    let text = render_text(&fixture(), &RenderOptions {
+            top_counters: 2,
+            ..RenderOptions::default()
+        });
     assert_eq!(text, GOLDEN, "rendered:\n{text}");
 }
 
@@ -77,7 +81,10 @@ fn golden_fixture_roundtrips_through_json() {
     let back = ObsReport::from_json_str(&r.to_json_string()).unwrap();
     assert_eq!(back, r);
     assert_eq!(
-        render_text(&back, &RenderOptions { top_counters: 2 }),
+        render_text(&back, &RenderOptions {
+            top_counters: 2,
+            ..RenderOptions::default()
+        }),
         GOLDEN
     );
 }

@@ -1,7 +1,10 @@
 //! JSON round-trip property tests: any `ObsReport` (and each record kind)
 //! survives `to_json_string` → `from_json_str` unchanged.
 
-use aji_obs::{CounterRecord, HistogramRecord, ObsReport, SpanRecord};
+use aji_obs::{
+    CounterRecord, GaugeRecord, HistogramRecord, ObsReport, SpanRecord, TraceEvent, TraceKind,
+    TraceReport,
+};
 use aji_support::check::{property, TestCase};
 use aji_support::{prop_assert, prop_assert_eq, FromJson, Json, ToJson};
 
@@ -49,6 +52,16 @@ fn histogram(tc: &mut TestCase) -> HistogramRecord {
     }
 }
 
+fn trace_event(tc: &mut TestCase) -> TraceEvent {
+    TraceEvent {
+        step: tc.int_in(0u64..MAX_EXACT),
+        wall_ns: tc.int_in(0u64..MAX_EXACT),
+        kind: *tc.pick(TraceKind::all()),
+        name: name(tc),
+        detail: name(tc),
+    }
+}
+
 fn report(tc: &mut TestCase) -> ObsReport {
     ObsReport {
         spans: (0..tc.int_in(0usize..6)).map(|_| span(tc)).collect(),
@@ -59,6 +72,16 @@ fn report(tc: &mut TestCase) -> ObsReport {
             })
             .collect(),
         histograms: (0..tc.int_in(0usize..4)).map(|_| histogram(tc)).collect(),
+        gauges: (0..tc.int_in(0usize..4))
+            .map(|_| GaugeRecord {
+                name: name(tc),
+                value: tc.int_in(0u64..MAX_EXACT),
+            })
+            .collect(),
+        trace: tc.bool().then(|| TraceReport {
+            events: (0..tc.int_in(0usize..5)).map(|_| trace_event(tc)).collect(),
+            dropped: tc.int_in(0u64..1_000),
+        }),
     }
 }
 

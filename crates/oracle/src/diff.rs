@@ -281,6 +281,18 @@ pub fn run_oracle(
         "oracle.findings",
         missed.iter().filter(|m| m.hint_covered).count() as u64,
     );
+    if let Some(rec) = aji_obs::trace_recorder() {
+        // One flight-recorder event per finding (hint-covered missed
+        // edge), in triage order — `missed` is sorted by (site, callee),
+        // so the stream is deterministic.
+        for m in missed.iter().filter(|m| m.hint_covered) {
+            rec.record(
+                aji_obs::TraceKind::OracleFinding,
+                &format!("{} -> {}", m.site_display, m.callee_display),
+                m.cause.key(),
+            );
+        }
+    }
 
     let hint_count = approx.hints.reads.values().map(BTreeSet::len).sum::<usize>()
         + approx.hints.writes.len()

@@ -162,6 +162,11 @@ pub fn analyze_parsed(
 
     // Apply hints.
     let hint_span = aji_obs::span("apply-hints");
+    // Flight-recorder sink, fetched once: one `HintApply` event per rule
+    // application, named by the rule and detailed by the property (or
+    // location/path) it injected. Hint maps iterate in `BTreeMap` order,
+    // so the event stream is deterministic.
+    let rec = aji_obs::trace_recorder();
     let mut hints_applied = 0;
     if let Some(h) = hints {
         // Hint locations resolve to function tokens first, then to known
@@ -199,6 +204,9 @@ pub fn analyze_parsed(
                 let field = solver.cell(CellKind::Field(t_obj, prop));
                 solver.add_token(field, t_val);
                 hints_applied += 1;
+                if let Some(rec) = &rec {
+                    rec.record(aji_obs::TraceKind::HintApply, "dpw", &w.prop);
+                }
             }
         }
         if opts.use_read_hints {
@@ -211,6 +219,9 @@ pub fn analyze_parsed(
                     let t = token_at(&mut solver, *l);
                     solver.add_token(*cell, t);
                     hints_applied += 1;
+                    if let Some(rec) = &rec {
+                        rec.record(aji_obs::TraceKind::HintApply, "dpr", &l.to_string());
+                    }
                 }
             }
         }
@@ -229,6 +240,9 @@ pub fn analyze_parsed(
                         crate::solver::Constraint::Store { prop, src: *value },
                     );
                     hints_applied += 1;
+                    if let Some(rec) = &rec {
+                        rec.record(aji_obs::TraceKind::HintApply, "nonrel-write", p);
+                    }
                 }
             }
         }
@@ -248,12 +262,20 @@ pub fn analyze_parsed(
                         crate::solver::Constraint::Load { prop, dst: *result },
                     );
                     hints_applied += 1;
+                    if let Some(rec) = &rec {
+                        rec.record(aji_obs::TraceKind::HintApply, "proxy-read", p);
+                    }
                 }
             }
         }
         if opts.use_module_hints {
             for (site, paths) in &h.modules {
                 hints_applied += paths.len();
+                if let Some(rec) = &rec {
+                    for p in paths {
+                        rec.record(aji_obs::TraceKind::HintApply, "module", p);
+                    }
+                }
                 solver
                     .module_hints
                     .insert(*site, paths.iter().cloned().collect());
