@@ -40,6 +40,21 @@ impl Default for ApproxOptions {
     }
 }
 
+impl ApproxOptions {
+    /// Folds every field that can change the produced hint set into `h` —
+    /// the cache-key contribution the `aji serve` hint store uses, so a
+    /// persisted hint set is only ever reused under the exact options
+    /// that computed it.
+    pub fn fingerprint_into(&self, h: &mut aji_support::Fnv64) {
+        h.write_u64(match self.seeds {
+            SeedMode::MainPackage => 0,
+            SeedMode::MainOnly => 1,
+            SeedMode::AllModules => 2,
+        });
+        self.interp.fingerprint_into(h);
+    }
+}
+
 /// Statistics about one pre-analysis run (§5 reports function coverage and
 /// running times).
 #[derive(Debug, Clone, Default)]

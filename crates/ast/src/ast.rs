@@ -54,6 +54,23 @@ impl NodeIdGen {
     pub fn count(&self) -> usize {
         self.next as usize
     }
+
+    /// Creates a generator whose next fresh id is `n`.
+    ///
+    /// The `aji serve` parse cache uses this to resume project-wide id
+    /// numbering after splicing in a cached module parse: a module reused
+    /// at the same id offset is byte-identical to a fresh whole-project
+    /// parse, so ids stay project-unique and analyses downstream cannot
+    /// tell the difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds `u32::MAX` ids.
+    pub fn starting_at(n: usize) -> Self {
+        NodeIdGen {
+            next: u32::try_from(n).expect("node id space exhausted"),
+        }
+    }
 }
 
 /// A parsed module: the top-level statements of one source file.

@@ -6,6 +6,7 @@
 //! out on disk. A [`Project`] owns the file contents and the metadata the
 //! experiments need (main module, test driver, vulnerability annotations).
 
+use aji_support::Json;
 use crate::source::SourceMap;
 use std::collections::BTreeSet;
 
@@ -168,6 +169,95 @@ impl Project {
             .filter(|p| Self::is_main_package_path(p))
             .collect()
     }
+
+    /// Serializes the whole project — name, entry points, files with
+    /// their sources, vulnerability annotations — as a JSON value.
+    ///
+    /// This is the over-the-wire representation `aji serve` clients send
+    /// with an `analyze`/`oracle` request (see DAEMON.md); file order is
+    /// preserved, so [`Project::from_json`] reconstructs a project whose
+    /// `FileId`s (and therefore every analysis result) match the
+    /// original's exactly.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("name", Json::Str(self.name.clone())),
+            ("main", Json::Str(self.main.clone())),
+        ];
+        if let Some(driver) = &self.test_driver {
+            pairs.push(("test_driver", Json::Str(driver.clone())));
+        }
+        pairs.push((
+            "files",
+            Json::Arr(
+                self.files
+                    .iter()
+                    .map(|f| {
+                        Json::obj(vec![
+                            ("path", Json::Str(f.path.clone())),
+                            ("src", Json::Str(f.src.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        if !self.vulns.is_empty() {
+            pairs.push((
+                "vulns",
+                Json::Arr(
+                    self.vulns
+                        .iter()
+                        .map(|v| {
+                            Json::obj(vec![
+                                ("id", Json::Str(v.id.clone())),
+                                ("path", Json::Str(v.path.clone())),
+                                ("function", Json::Str(v.function.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        Json::obj(pairs)
+    }
+
+    /// Reconstructs a project from [`Project::to_json`]'s representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the missing or mistyped
+    /// field when the document does not describe a project.
+    pub fn from_json(doc: &Json) -> Result<Project, String> {
+        let str_field = |d: &Json, key: &str| -> Result<String, String> {
+            d.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("project JSON lacks string field \"{key}\""))
+        };
+        let mut project = Project::new(str_field(doc, "name")?);
+        project.main = str_field(doc, "main")?;
+        project.test_driver = doc
+            .get("test_driver")
+            .and_then(Json::as_str)
+            .map(str::to_string);
+        let files = doc
+            .get("files")
+            .and_then(Json::as_arr)
+            .ok_or("project JSON lacks array field \"files\"")?;
+        for f in files {
+            project.add_file(str_field(f, "path")?, str_field(f, "src")?);
+        }
+        if let Some(vulns) = doc.get("vulns").and_then(Json::as_arr) {
+            for v in vulns {
+                project.add_vuln(
+                    str_field(v, "id")?,
+                    str_field(v, "path")?,
+                    str_field(v, "function")?,
+                );
+            }
+        }
+        Ok(project)
+    }
 }
 
 #[cfg(test)]
@@ -227,6 +317,28 @@ mod tests {
         assert!(p.code_size_bytes() > 0);
         assert!(p.file("index.js").is_some());
         assert!(p.file("nope.js").is_none());
+    }
+
+    #[test]
+    fn project_json_roundtrips() {
+        let mut p = sample();
+        p.test_driver = Some("index.js".to_string());
+        p.add_vuln("CVE-SYN-1", "node_modules/dep/index.js", "evil");
+        let doc = p.to_json();
+        let back = Project::from_json(&doc).unwrap();
+        assert_eq!(back.name, p.name);
+        assert_eq!(back.main, p.main);
+        assert_eq!(back.test_driver, p.test_driver);
+        assert_eq!(back.files.len(), p.files.len());
+        for (a, b) in back.files.iter().zip(&p.files) {
+            assert_eq!((a.path.as_str(), a.src.as_str()), (b.path.as_str(), b.src.as_str()));
+        }
+        assert_eq!(back.vulns, p.vulns);
+        // Re-serialization is byte-identical (the wire format is stable).
+        assert_eq!(back.to_json().to_string(), doc.to_string());
+        // Errors name the offending field.
+        let err = Project::from_json(&Json::obj(vec![])).unwrap_err();
+        assert!(err.contains("name"), "{err}");
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //!
 //! Run with `cargo run --release -p aji-bench --bin fig4_7`.
 //! Accepts the shared corpus flags (`--threads N`, `AJI_THREADS`,
-//! `--json` for the deterministic corpus report); see BENCHMARKS.md.
+//! `--json` for the deterministic corpus report, `--daemon SOCKET` to
+//! send projects to a running `aji-serve` daemon instead of analyzing
+//! locally — same JSON output; see DAEMON.md); see BENCHMARKS.md.
 
 use aji::{BenchmarkReport, PipelineOptions};
 use aji_bench::{collect_reports, corpus_metrics_json, exit_code, run_corpus, CorpusCli};
@@ -48,6 +50,9 @@ fn main() -> ExitCode {
     let cli = CorpusCli::from_env("fig4_7", true);
     let projects = aji_corpus::full_population();
     let n = projects.len();
+    if let Some(socket) = cli.daemon.clone() {
+        return aji_bench::run_daemon_mode(projects, &socket, cli.threads, false);
+    }
     let results = run_corpus(projects, &PipelineOptions::default(), cli.threads);
 
     if cli.json {

@@ -4,7 +4,9 @@
 //!
 //! Run with `cargo run --release -p aji-bench --bin table2`.
 //! Accepts the shared corpus flags (`--threads N`, `AJI_THREADS`,
-//! `--json` for the deterministic corpus report); see BENCHMARKS.md.
+//! `--json` for the deterministic corpus report, `--daemon SOCKET` to
+//! send projects to a running `aji-serve` daemon instead of analyzing
+//! locally — same JSON output; see DAEMON.md); see BENCHMARKS.md.
 
 use aji::PipelineOptions;
 use aji_bench::{collect_reports, corpus_metrics_json, exit_code, run_corpus, CorpusCli};
@@ -13,6 +15,9 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let cli = CorpusCli::from_env("table2", true);
     let projects = aji_corpus::table1_benchmarks();
+    if let Some(socket) = cli.daemon.clone() {
+        return aji_bench::run_daemon_mode(projects, &socket, cli.threads, true);
+    }
     let results = run_corpus(projects, &PipelineOptions::with_dynamic_cg(), cli.threads);
 
     if cli.json {

@@ -3,7 +3,9 @@
 //!
 //! Run with `cargo run --release -p aji-bench --bin table3`.
 //! Accepts the shared corpus flags (`--threads N`, `AJI_THREADS`,
-//! `--json` for the deterministic corpus report); see BENCHMARKS.md.
+//! `--json` for the deterministic corpus report, `--daemon SOCKET` to
+//! send projects to a running `aji-serve` daemon instead of analyzing
+//! locally — same JSON output; see DAEMON.md); see BENCHMARKS.md.
 //! Note the wall-clock columns here are per-phase and remain meaningful
 //! under `--threads N > 1` (each project's phases run on one worker), but
 //! they are not byte-reproducible; `--json` reports only the
@@ -16,6 +18,9 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let cli = CorpusCli::from_env("table3", true);
     let projects = aji_corpus::table1_benchmarks();
+    if let Some(socket) = cli.daemon.clone() {
+        return aji_bench::run_daemon_mode(projects, &socket, cli.threads, false);
+    }
     let results = run_corpus(projects, &PipelineOptions::default(), cli.threads);
 
     if cli.json {

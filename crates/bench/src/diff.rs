@@ -11,7 +11,14 @@
 //!   (default ±25%), because a shared CI box cannot promise more.
 //!
 //! Keys present on only one side are reported as warnings, not failures,
-//! so adding a metric does not break the gate against older history. The
+//! so adding a metric does not break the gate against older history —
+//! with one exception: if an entire **guarded counter family**
+//! (`interp.*`, `oracle.*`) present in the old document has no members at
+//! all in the new one, that is a fatal finding. A single renamed counter
+//! is a rename; a whole family of core-interpreter or oracle counters
+//! going dark means the instrumentation itself was lost (a stripped
+//! feature, a disabled registry), which is exactly the regression the
+//! gate exists to catch. The
 //! [`TraceReport`](aji_obs::TraceReport) events list is skipped entirely:
 //! event streams are compared byte-for-byte by the determinism tests, and
 //! their length is environment-dependent in non-deterministic runs.
@@ -79,6 +86,16 @@ const WALL_MARKERS: &[&str] = &[
     "_ns", "_ms", "_secs", "_s", "secs", "seconds", "elapsed", "wall", "per_sec", "speedup",
     "rss", "_ts", "duration", "overhead",
 ];
+
+/// Counter families whose *total* disappearance from the new document is
+/// a gate failure, not a warning (see module docs). Matched as a prefix
+/// of any `/`-separated path segment, so `obs/counters/interp.steps/value`
+/// and a name-keyed `counters/interp.ic.hits` both count.
+const GUARDED_FAMILIES: &[&str] = &["interp.", "oracle."];
+
+fn in_family(path: &str, family: &str) -> bool {
+    path.split('/').any(|seg| seg.starts_with(family))
+}
 
 fn classify(path: &str) -> LeafClass {
     let leaf = path.rsplit('/').next().unwrap_or(path).to_ascii_lowercase();
@@ -230,6 +247,21 @@ pub fn diff_reports(old: &Json, new: &Json, tolerance: f64) -> DiffReport {
             });
         }
     }
+    // Missing keys warn individually, but a guarded family going dark
+    // entirely is instrumentation loss and fails the gate (module docs).
+    for family in GUARDED_FAMILIES {
+        let old_n = old_map.keys().filter(|p| in_family(p, family)).count();
+        if old_n > 0 && !new_map.keys().any(|p| in_family(p, family)) {
+            report.findings.push(DiffFinding {
+                path: format!("{family}*"),
+                message: format!(
+                    "counter family vanished: {old_n} {family}* metrics in old, none in new \
+                     (instrumentation lost, not a rename)"
+                ),
+                fatal: true,
+            });
+        }
+    }
     report
 }
 
@@ -328,6 +360,51 @@ mod tests {
         let r = diff_reports(&old, &new, 0.25);
         assert!(!r.passed());
         assert_eq!(r.findings[0].path, "result");
+    }
+
+    #[test]
+    fn vanished_interp_family_is_fatal() {
+        let old = parse(
+            r#"{"counters": [{"name": "interp.steps", "value": 100}, {"name": "interp.ic.hits", "value": 7}, {"name": "pta.edges", "value": 3}]}"#,
+        );
+        let new = parse(r#"{"counters": [{"name": "pta.edges", "value": 3}]}"#);
+        let r = diff_reports(&old, &new, 0.25);
+        assert!(!r.passed());
+        let fatal: Vec<_> = r.findings.iter().filter(|f| f.fatal).collect();
+        assert_eq!(fatal.len(), 1);
+        assert_eq!(fatal[0].path, "interp.*");
+        assert!(fatal[0].message.contains("2 interp.* metrics"), "{}", fatal[0].message);
+    }
+
+    #[test]
+    fn vanished_oracle_family_is_fatal() {
+        let old = parse(r#"{"counters": [{"name": "oracle.mismatches", "value": 4}]}"#);
+        let new = parse(r#"{"counters": [{"name": "fresh.metric", "value": 1}]}"#);
+        let r = diff_reports(&old, &new, 0.25);
+        assert!(!r.passed());
+        assert!(r.findings.iter().any(|f| f.fatal && f.path == "oracle.*"));
+    }
+
+    #[test]
+    fn partially_vanished_family_still_only_warns() {
+        // One interp counter renamed away but the family survives: the
+        // usual non-fatal missing-key warning, no family failure.
+        let old = parse(
+            r#"{"counters": [{"name": "interp.steps", "value": 100}, {"name": "interp.ic.hits", "value": 7}]}"#,
+        );
+        let new = parse(r#"{"counters": [{"name": "interp.steps", "value": 100}]}"#);
+        let r = diff_reports(&old, &new, 0.25);
+        assert!(r.passed());
+        assert!(r.findings.iter().all(|f| !f.fatal));
+    }
+
+    #[test]
+    fn family_absent_from_both_sides_is_no_finding() {
+        let old = parse(r#"{"pta": {"edges": 3}}"#);
+        let new = parse(r#"{"pta": {"edges": 3}}"#);
+        let r = diff_reports(&old, &new, 0.25);
+        assert!(r.passed());
+        assert!(r.findings.is_empty());
     }
 
     #[test]

@@ -221,6 +221,92 @@ pub fn exit_code(failures: usize) -> ExitCode {
     }
 }
 
+/// Runs the corpus in **daemon (thin-client) mode**: one `analyze`
+/// request per project against a running `aji-serve` daemon, fanned out
+/// over up to `threads` client threads, results **in corpus order**.
+///
+/// Each request carries the project inline (`Project::to_json`), so the
+/// daemon needs no corpus of its own, and opens a fresh connection
+/// ([`aji_support::wire::request`]) — responses depend only on request
+/// content, never on connection interleaving, which is what keeps daemon
+/// runs byte-identical at any client thread count. The success payload is
+/// the daemon's `result` field, which is exactly the project's
+/// [`BenchmarkReport::metrics_json`] — so [`daemon_metrics_json`] over
+/// these results matches [`corpus_metrics_json`] over a local run
+/// byte-for-byte (`tests/daemon_determinism.rs` pins this).
+///
+/// `dynamic` selects the dynamic-call-graph pipeline
+/// ([`PipelineOptions::with_dynamic_cg`]), as `table2` needs.
+pub fn run_corpus_daemon(
+    projects: Vec<Project>,
+    socket: &str,
+    threads: usize,
+    dynamic: bool,
+) -> Vec<ProjectResult<Json, String>> {
+    aji_support::par::map(projects, threads, |project| {
+        let name = project.name.clone();
+        let mut pairs = vec![
+            ("op".to_string(), Json::Str("analyze".into())),
+            ("project".to_string(), project.to_json()),
+        ];
+        if dynamic {
+            pairs.push(("dynamic".to_string(), Json::Bool(true)));
+        }
+        let outcome = match aji_support::wire::request(socket, &Json::Obj(pairs)) {
+            Ok(resp) if resp.get("ok") == Some(&Json::Bool(true)) => resp
+                .get("result")
+                .cloned()
+                .ok_or_else(|| "daemon response frame has no result".to_string()),
+            Ok(resp) => Err(resp
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("daemon error frame without message")
+                .to_string()),
+            Err(e) => Err(format!("daemon request failed: {e}")),
+        };
+        ProjectResult { name, outcome }
+    })
+}
+
+/// The daemon-mode twin of [`corpus_metrics_json`]: success payloads are
+/// embedded as-is (they already are `metrics_json` objects), failures
+/// become `{"name", "error"}` entries in place.
+pub fn daemon_metrics_json(results: &[ProjectResult<Json, String>]) -> Json {
+    Json::Arr(
+        results
+            .iter()
+            .map(|r| match &r.outcome {
+                Ok(payload) => payload.clone(),
+                Err(e) => Json::obj(vec![
+                    ("name", Json::Str(r.name.clone())),
+                    ("error", Json::Str(e.clone())),
+                ]),
+            })
+            .collect(),
+    )
+}
+
+/// The shared `--daemon SOCKET` code path of the experiment binaries:
+/// runs [`run_corpus_daemon`], prints [`daemon_metrics_json`] (the same
+/// deterministic report `--json` prints for a local run), and returns
+/// the uniform [`exit_code`].
+pub fn run_daemon_mode(
+    projects: Vec<Project>,
+    socket: &str,
+    threads: usize,
+    dynamic: bool,
+) -> ExitCode {
+    let results = run_corpus_daemon(projects, socket, threads, dynamic);
+    let failures = results.iter().filter(|r| r.outcome.is_err()).count();
+    for r in &results {
+        if let Err(e) = &r.outcome {
+            eprintln!("{}: {e}", r.name);
+        }
+    }
+    println!("{}", daemon_metrics_json(&results));
+    exit_code(failures)
+}
+
 /// The **deterministic** corpus-level report: one entry per project, in
 /// corpus order — [`BenchmarkReport::metrics_json`] for successes (which
 /// excludes the nondeterministic wall-clock fields), `{"name", "error"}`
@@ -257,6 +343,11 @@ pub fn corpus_metrics_json<E: fmt::Display>(
 /// * `--json` — print the deterministic [`corpus_metrics_json`] report
 ///   instead of the human-readable table (only on binaries that produce
 ///   [`BenchmarkReport`]s).
+/// * `--daemon SOCKET` — thin-client mode: send each project to a running
+///   `aji-serve` daemon instead of analyzing locally, and print the same
+///   deterministic JSON report ([`run_daemon_mode`]). Gated like `--json`:
+///   only binaries whose corpus output is a [`BenchmarkReport`] stream
+///   accept it.
 ///
 /// # Example
 ///
@@ -265,6 +356,8 @@ pub fn corpus_metrics_json<E: fmt::Display>(
 ///
 /// let cli = CorpusCli::parse(["--threads".into(), "4".into(), "--json".into()], true).unwrap();
 /// assert_eq!((cli.threads, cli.json), (4, true));
+/// let cli = CorpusCli::parse(["--daemon".into(), "/tmp/aji.sock".into()], true).unwrap();
+/// assert_eq!(cli.daemon.as_deref(), Some("/tmp/aji.sock"));
 /// assert!(CorpusCli::parse(["--bogus".into()], true).is_err());
 /// assert!(CorpusCli::parse(["--json".into()], false).is_err()); // not supported here
 /// ```
@@ -275,19 +368,22 @@ pub struct CorpusCli {
     pub threads: usize,
     /// Emit the deterministic JSON report instead of the table.
     pub json: bool,
+    /// `aji-serve` socket path for thin-client mode ([`run_daemon_mode`]).
+    pub daemon: Option<String>,
 }
 
 impl CorpusCli {
     /// Parses an argument list (without the program name).
     ///
-    /// `json_supported` gates the `--json` flag: binaries whose output is
-    /// not a [`BenchmarkReport`] corpus reject it up front rather than
-    /// silently ignoring it.
+    /// `json_supported` gates the `--json` and `--daemon` flags: binaries
+    /// whose output is not a [`BenchmarkReport`] corpus reject them up
+    /// front rather than silently ignoring them.
     ///
     /// # Errors
     ///
     /// Returns a human-readable message for unknown flags, a missing or
-    /// non-numeric `--threads` value, or `--json` where unsupported.
+    /// non-numeric `--threads` value, a missing `--daemon` socket path, or
+    /// `--json`/`--daemon` where unsupported.
     pub fn parse<I>(args: I, json_supported: bool) -> Result<CorpusCli, String>
     where
         I: IntoIterator<Item = String>,
@@ -295,6 +391,7 @@ impl CorpusCli {
         let mut cli = CorpusCli {
             threads: aji_support::par::threads_from_env(),
             json: false,
+            daemon: None,
         };
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
@@ -307,13 +404,23 @@ impl CorpusCli {
                 }
                 "--json" if json_supported => cli.json = true,
                 "--json" => return Err("--json is not supported by this binary".to_string()),
-                other => match other.strip_prefix("--threads=") {
-                    Some(v) => {
+                "--daemon" if json_supported => {
+                    cli.daemon = Some(it.next().ok_or("--daemon expects a socket path")?);
+                }
+                "--daemon" => {
+                    return Err("--daemon is not supported by this binary".to_string())
+                }
+                other => match (other.strip_prefix("--threads="), other.strip_prefix("--daemon=")) {
+                    (Some(v), _) => {
                         cli.threads = v
                             .parse()
                             .map_err(|_| format!("invalid --threads value: {v}"))?;
                     }
-                    None => return Err(format!("unknown argument: {other}")),
+                    (None, Some(v)) if json_supported => cli.daemon = Some(v.to_string()),
+                    (None, Some(_)) => {
+                        return Err("--daemon is not supported by this binary".to_string())
+                    }
+                    (None, None) => return Err(format!("unknown argument: {other}")),
                 },
             }
         }
@@ -341,14 +448,19 @@ impl CorpusCli {
 
     fn usage(bin: &str, json_supported: bool) -> String {
         let json_line = if json_supported {
-            "\n  --json         print the deterministic corpus report as JSON"
+            "\n  --json           print the deterministic corpus report as JSON\
+             \n  --daemon SOCKET  send projects to a running aji-serve daemon\n                   (implies JSON output; see DAEMON.md)"
         } else {
             ""
         };
         format!(
-            "usage: {bin} [--threads N]{}\n\n  --threads N    worker threads (0 = auto, capped at 8); \
+            "usage: {bin} [--threads N]{}\n\n  --threads N      worker threads (0 = auto, capped at 8); \
              defaults to $AJI_THREADS{json_line}",
-            if json_supported { " [--json]" } else { "" }
+            if json_supported {
+                " [--json] [--daemon SOCKET]"
+            } else {
+                ""
+            }
         )
     }
 }
@@ -364,9 +476,23 @@ mod tests {
     #[test]
     fn cli_parses_threads_and_json() {
         let cli = CorpusCli::parse(args(&["--threads", "3", "--json"]), true).unwrap();
-        assert_eq!(cli, CorpusCli { threads: 3, json: true });
+        assert_eq!(
+            cli,
+            CorpusCli { threads: 3, json: true, daemon: None }
+        );
         let cli = CorpusCli::parse(args(&["--threads=2"]), false).unwrap();
-        assert_eq!(cli, CorpusCli { threads: 2, json: false });
+        assert_eq!(
+            cli,
+            CorpusCli { threads: 2, json: false, daemon: None }
+        );
+    }
+
+    #[test]
+    fn cli_parses_daemon_socket() {
+        let cli = CorpusCli::parse(args(&["--daemon", "/tmp/a.sock"]), true).unwrap();
+        assert_eq!(cli.daemon.as_deref(), Some("/tmp/a.sock"));
+        let cli = CorpusCli::parse(args(&["--daemon=/tmp/b.sock"]), true).unwrap();
+        assert_eq!(cli.daemon.as_deref(), Some("/tmp/b.sock"));
     }
 
     #[test]
@@ -375,6 +501,39 @@ mod tests {
         assert!(CorpusCli::parse(args(&["--threads", "x"]), true).is_err());
         assert!(CorpusCli::parse(args(&["--wat"]), true).is_err());
         assert!(CorpusCli::parse(args(&["--json"]), false).is_err());
+        assert!(CorpusCli::parse(args(&["--daemon"]), true).is_err());
+        assert!(CorpusCli::parse(args(&["--daemon", "/tmp/a.sock"]), false).is_err());
+        assert!(CorpusCli::parse(args(&["--daemon=/tmp/a.sock"]), false).is_err());
+    }
+
+    #[test]
+    fn daemon_metrics_json_embeds_payloads_and_errors_in_place() {
+        let results = vec![
+            ProjectResult::<Json, String> {
+                name: "good".to_string(),
+                outcome: Ok(Json::obj(vec![("name", Json::Str("good".into()))])),
+            },
+            ProjectResult::<Json, String> {
+                name: "bad".to_string(),
+                outcome: Err("socket gone".to_string()),
+            },
+        ];
+        let json = daemon_metrics_json(&results).to_string();
+        assert_eq!(
+            json,
+            r#"[{"name":"good"},{"name":"bad","error":"socket gone"}]"#
+        );
+    }
+
+    #[test]
+    fn daemon_requests_against_a_dead_socket_fail_cleanly_in_order() {
+        let projects: Vec<Project> =
+            aji_corpus::pattern_projects().into_iter().take(3).collect();
+        let names: Vec<String> = projects.iter().map(|p| p.name.clone()).collect();
+        let results = run_corpus_daemon(projects, "/nonexistent/aji.sock", 2, false);
+        let got: Vec<String> = results.iter().map(|r| r.name.clone()).collect();
+        assert_eq!(got, names);
+        assert!(results.iter().all(|r| r.outcome.is_err()));
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //! compiles a [`aji_ast::ast::Function`] body **once** into a compact
 //! stack-machine [`Chunk`] — constant pool, interned property names,
 //! explicit jump targets — that the interpreter's VM executes instead.
+//! The design rationale — why a provable subset with whole-function
+//! bail, how the compiler proves parity — is in `DESIGN.md`
+//! (§ `aji-bytecode`) at the repository root.
 //!
 //! Two properties are load-bearing and non-negotiable:
 //!

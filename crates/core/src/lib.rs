@@ -112,6 +112,27 @@ impl PipelineOptions {
             ..PipelineOptions::default()
         }
     }
+
+    /// A stable digest of every result-affecting option, for cache keys.
+    ///
+    /// The `aji serve` hint store keys cached hint sets and analysis
+    /// responses by `(source digest, options fingerprint)`; two
+    /// [`PipelineOptions`] with the same fingerprint are guaranteed to
+    /// produce byte-identical [`BenchmarkReport::metrics_json`] output on
+    /// the same sources. Engine-selection knobs that are observationally
+    /// neutral (the bytecode VM toggle) do not participate — see
+    /// [`aji_interp::InterpOptions::fingerprint_into`].
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        // Fixed domain-separation seed: pipeline fingerprints never
+        // collide with source-content digests even for crafted sources.
+        let mut h = aji_support::Fnv64::new(0xA110_917E_11FE);
+        self.approx.fingerprint_into(&mut h);
+        self.analysis.fingerprint_into(&mut h);
+        h.write_u64(u64::from(self.dynamic_cg));
+        self.dynamic_interp.fingerprint_into(&mut h);
+        h.finish()
+    }
 }
 
 /// Accuracy of one analysis against the dynamic call graph.
@@ -293,19 +314,96 @@ pub fn run_benchmark(
     project: &Project,
     opts: &PipelineOptions,
 ) -> Result<BenchmarkReport, PipelineError> {
-    // When collection is active (AJI_OBS, an enclosing scope, or
-    // force_enable), give this run its own registry so `report.obs` covers
-    // exactly this run, then fold it back into the enclosing registry.
+    with_run_obs(|| {
+        let total = aji_obs::span("pipeline");
+        // Parse, once for every phase of the pipeline.
+        let parse_start = std::time::Instant::now();
+        let parsed = aji_parser::parse_project(project)?;
+        let parse_seconds = parse_start.elapsed().as_secs_f64();
+        run_pipeline(project, &parsed, None, parse_seconds, total, opts)
+    })
+}
+
+/// [`run_benchmark`] over an already-parsed project — the cache-aware
+/// entry point the `aji serve` daemon uses when its content-hash-keyed
+/// parse cache already holds the project's modules.
+///
+/// `report.parse_seconds` is `0.0` (no parsing happened here);
+/// [`BenchmarkReport::metrics_json`] — the deterministic payload caches
+/// compare — is byte-identical to a [`run_benchmark`] of the same
+/// sources.
+///
+/// # Errors
+///
+/// As [`run_benchmark`], minus the parse errors (the project already
+/// parsed).
+pub fn run_benchmark_parsed(
+    project: &Project,
+    parsed: &ParsedProject,
+    opts: &PipelineOptions,
+) -> Result<BenchmarkReport, PipelineError> {
+    with_run_obs(|| {
+        let total = aji_obs::span("pipeline");
+        run_pipeline(project, parsed, None, 0.0, total, opts)
+    })
+}
+
+/// [`run_benchmark_parsed`] with the approximate-interpretation phase
+/// replaced by a previously computed hint set — the second cache-aware
+/// entry point: when the `aji serve` hint store holds hints for this
+/// exact `(source digest, approx-options fingerprint)` key, the most
+/// expensive pipeline phase (§5 puts approximate interpretation at ~54%
+/// of wall-clock) is skipped outright.
+///
+/// **Soundness contract:** `hints`/`approx_stats` must come from an
+/// [`aji_approx::approximate_interpret`] run over byte-identical sources
+/// under fingerprint-identical options — then the report (and its
+/// [`BenchmarkReport::metrics_json`]) is byte-identical to the uncached
+/// pipeline, which `tests/daemon_determinism.rs` pins. Callers enforce
+/// that by keying on [`PipelineOptions::fingerprint`] and the content
+/// digest; handing over stale hints produces exactly the stale-hint
+/// unsoundness the store's invalidation exists to prevent.
+///
+/// # Errors
+///
+/// As [`run_benchmark_parsed`].
+pub fn run_benchmark_with_hints(
+    project: &Project,
+    parsed: &ParsedProject,
+    hints: Hints,
+    approx_stats: ApproxStats,
+    opts: &PipelineOptions,
+) -> Result<BenchmarkReport, PipelineError> {
+    with_run_obs(|| {
+        let total = aji_obs::span("pipeline");
+        run_pipeline(
+            project,
+            parsed,
+            Some((hints, approx_stats)),
+            0.0,
+            total,
+            opts,
+        )
+    })
+}
+
+/// When collection is active (AJI_OBS, an enclosing scope, or
+/// force_enable), gives the run its own registry so `report.obs` covers
+/// exactly this run, then folds it back into the enclosing registry.
+fn with_run_obs<F>(f: F) -> Result<BenchmarkReport, PipelineError>
+where
+    F: FnOnce() -> Result<BenchmarkReport, PipelineError>,
+{
     match aji_obs::current_registry() {
         Some(parent) => {
             let reg = Arc::new(aji_obs::Registry::new_like(&parent));
-            let mut report = aji_obs::scoped(&reg, || run_pipeline(project, opts))?;
+            let mut report = aji_obs::scoped(&reg, f)?;
             let obs = reg.report();
             parent.absorb(&obs);
             report.obs = Some(obs);
             Ok(report)
         }
-        None => run_pipeline(project, opts),
+        None => f(),
     }
 }
 
@@ -313,42 +411,51 @@ pub fn run_benchmark(
 /// guards that feed the span tree — [`aji_obs::SpanGuard::finish`] returns
 /// the elapsed time whether or not collection is active.
 ///
-/// The project is parsed exactly **once**; the baseline analysis, the
-/// approximate interpretation, the extended analysis, the dynamic run and
-/// the vulnerability study all share the same [`ParsedProject`] (modules
-/// are reference-counted, see [`aji_parser::ParsedProject`]).
+/// The project is parsed exactly **once** (by the caller); the baseline
+/// analysis, the approximate interpretation, the extended analysis, the
+/// dynamic run and the vulnerability study all share the same
+/// [`ParsedProject`] (modules are reference-counted, see
+/// [`aji_parser::ParsedProject`]). `cached_hints` short-circuits the
+/// approximate-interpretation phase; see [`run_benchmark_with_hints`].
 fn run_pipeline(
     project: &Project,
+    parsed: &ParsedProject,
+    cached_hints: Option<(Hints, ApproxStats)>,
+    parse_seconds: f64,
+    total: aji_obs::SpanGuard,
     opts: &PipelineOptions,
 ) -> Result<BenchmarkReport, PipelineError> {
-    let total = aji_obs::span("pipeline");
-
-    // 0. Parse, once for every phase below.
-    let parse_start = std::time::Instant::now();
-    let parsed = aji_parser::parse_project(project)?;
-    let parse_seconds = parse_start.elapsed().as_secs_f64();
-
     // 1. Baseline.
     let phase = aji_obs::span("baseline-pta");
-    let baseline_analysis = analyze_parsed(project, &parsed, None, &AnalysisOptions::baseline());
+    let baseline_analysis = analyze_parsed(project, parsed, None, &AnalysisOptions::baseline());
     let baseline_seconds = phase.finish().as_secs_f64();
 
-    // 2. Approximate interpretation.
-    let phase = aji_obs::span("approx-interp");
-    let approx: ApproxResult = approximate_interpret_parsed(project, &parsed, &opts.approx);
-    let approx_seconds = phase.finish().as_secs_f64();
+    // 2. Approximate interpretation — skipped when the caller supplies a
+    // content-hash-validated hint set (the `aji serve` warm path).
+    let (hints, approx_stats, approx_seconds) = match cached_hints {
+        Some((hints, stats)) => {
+            aji_obs::counter_add("pipeline.hint_cache_uses", 1);
+            (hints, stats, 0.0)
+        }
+        None => {
+            let phase = aji_obs::span("approx-interp");
+            let approx: ApproxResult =
+                approximate_interpret_parsed(project, parsed, &opts.approx);
+            let approx_seconds = phase.finish().as_secs_f64();
+            (approx.hints, approx.stats, approx_seconds)
+        }
+    };
 
     // 3. Extended analysis.
     let phase = aji_obs::span("extended-pta");
-    let extended_analysis =
-        analyze_parsed(project, &parsed, Some(&approx.hints), &opts.analysis);
+    let extended_analysis = analyze_parsed(project, parsed, Some(&hints), &opts.analysis);
     let extended_seconds = phase.finish().as_secs_f64();
 
     // 4. Dynamic call graph (optional).
     let mut dynamic_seconds = 0.0;
     let accuracy = if opts.dynamic_cg {
         let phase = aji_obs::span("dynamic-cg");
-        let acc = dynamic_call_graph_parsed(project, &parsed, &opts.dynamic_interp).map(
+        let acc = dynamic_call_graph_parsed(project, parsed, &opts.dynamic_interp).map(
             |dyn_edges| AccuracyPair {
                 baseline: Accuracy::compare(&baseline_analysis.call_graph, &dyn_edges),
                 extended: Accuracy::compare(&extended_analysis.call_graph, &dyn_edges),
@@ -368,7 +475,7 @@ fn run_pipeline(
         let _s = aji_obs::span("vuln-study");
         Some(vuln_reachability(
             project,
-            &parsed,
+            parsed,
             &baseline_analysis,
             &extended_analysis,
         ))
@@ -386,13 +493,13 @@ fn run_pipeline(
         extended_analysis_seconds: extended_analysis.analysis_seconds,
         dynamic_seconds,
         total_seconds: total.finish().as_secs_f64(),
-        hint_count: approx.hints.len(),
-        approx_stats: approx.stats,
+        hint_count: hints.len(),
+        approx_stats,
         accuracy,
         vulns,
         extended_call_graph: extended_analysis.call_graph,
         baseline_call_graph: baseline_analysis.call_graph,
-        hints: approx.hints,
+        hints,
         obs: None,
     })
 }
@@ -544,6 +651,52 @@ mod tests {
         assert_eq!(v.total, 2);
         assert_eq!(v.reachable_baseline, 1);
         assert_eq!(v.reachable_extended, 1);
+    }
+
+    #[test]
+    fn cached_entry_points_match_cold_run() {
+        let mut p = Project::new("demo");
+        p.add_file(
+            "index.js",
+            "var api = {};\n\
+             ['a', 'b'].forEach(function(m) { api[m] = function() {}; });\n\
+             api.a();\n\
+             api.b();",
+        );
+        p.test_driver = Some("index.js".to_string());
+        let opts = PipelineOptions::with_dynamic_cg();
+        let cold = run_benchmark(&p, &opts).unwrap();
+        let golden = cold.metrics_json().to_string();
+
+        let parsed = aji_parser::parse_project(&p).unwrap();
+        let warm = run_benchmark_parsed(&p, &parsed, &opts).unwrap();
+        assert_eq!(warm.metrics_json().to_string(), golden);
+        assert_eq!(warm.parse_seconds, 0.0);
+
+        let hinted = run_benchmark_with_hints(
+            &p,
+            &parsed,
+            cold.hints.clone(),
+            cold.approx_stats.clone(),
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(hinted.metrics_json().to_string(), golden);
+        assert_eq!(hinted.approx_seconds, 0.0);
+    }
+
+    #[test]
+    fn fingerprints_separate_option_sets() {
+        let base = PipelineOptions::default().fingerprint();
+        assert_eq!(base, PipelineOptions::default().fingerprint());
+        assert_ne!(base, PipelineOptions::with_dynamic_cg().fingerprint());
+        let mut tight = PipelineOptions::default();
+        tight.approx.interp.max_steps = 1;
+        assert_ne!(base, tight.fingerprint());
+        // The VM toggle is observationally neutral and shares cache keys.
+        let mut no_vm = PipelineOptions::default();
+        no_vm.approx.interp.use_vm = false;
+        assert_eq!(base, no_vm.fingerprint());
     }
 
     #[test]

@@ -65,6 +65,21 @@ impl InterpOptions {
             use_vm: true,
         }
     }
+
+    /// Folds every semantics-affecting field into `h`, so caches keyed on
+    /// the digest (the `aji serve` hint store) never serve a result
+    /// computed under different budgets or engine settings.
+    ///
+    /// `use_vm` is deliberately **excluded**: the bytecode VM is
+    /// observationally identical to the tree-walker (pinned by
+    /// `tests/bytecode_differential.rs`), so both engines may share cache
+    /// entries.
+    pub fn fingerprint_into(&self, h: &mut aji_support::Fnv64) {
+        h.write_u64(u64::from(self.approx));
+        h.write_u64(self.max_steps);
+        h.write_u64(u64::from(self.max_stack));
+        h.write_u64(self.max_loop_iters);
+    }
 }
 
 /// Builtin prototype objects.

@@ -43,6 +43,22 @@ pub struct OracleOptions {
     pub dynamic_interp: InterpOptions,
 }
 
+impl OracleOptions {
+    /// A stable digest of every result-affecting option, for cache keys —
+    /// the oracle-side counterpart of `aji::PipelineOptions::fingerprint`
+    /// (the `aji serve` store keys cached `oracle` responses on it).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        // Domain-separated from the pipeline fingerprint so an `analyze`
+        // cache entry can never be mistaken for an `oracle` one.
+        let mut h = aji_support::Fnv64::new(0x04AC_1E00);
+        self.approx.fingerprint_into(&mut h);
+        self.analysis.fingerprint_into(&mut h);
+        self.dynamic_interp.fingerprint_into(&mut h);
+        h.finish()
+    }
+}
+
 /// Edge-level difference between the dynamic call graph and the two
 /// static ones.
 #[derive(Debug, Clone)]
@@ -241,24 +257,40 @@ pub fn run_oracle(
     project: &Project,
     opts: &OracleOptions,
 ) -> Result<ProjectOracle, PipelineError> {
-    let _span = aji_obs::span("oracle");
     let parsed = aji_parser::parse_project(project)?;
+    run_oracle_parsed(project, &parsed, opts)
+}
+
+/// [`run_oracle`] over an already-parsed project — the cache-aware entry
+/// point the `aji serve` daemon uses so an `oracle` request reuses the
+/// modules its content-hash-keyed parse cache already holds (the oracle's
+/// four phases then run parse-free, like the PR 4 pipeline).
+///
+/// # Errors
+///
+/// As [`run_oracle`], minus the parse errors.
+pub fn run_oracle_parsed(
+    project: &Project,
+    parsed: &aji_parser::ParsedProject,
+    opts: &OracleOptions,
+) -> Result<ProjectOracle, PipelineError> {
+    let _span = aji_obs::span("oracle");
 
     let baseline = {
         let _s = aji_obs::span("baseline");
-        analyze_parsed(project, &parsed, None, &AnalysisOptions::baseline())
+        analyze_parsed(project, parsed, None, &AnalysisOptions::baseline())
     };
     let approx = {
         let _s = aji_obs::span("approx");
-        approximate_interpret_parsed(project, &parsed, &opts.approx)
+        approximate_interpret_parsed(project, parsed, &opts.approx)
     };
     let extended = {
         let _s = aji_obs::span("extended");
-        analyze_parsed(project, &parsed, Some(&approx.hints), &opts.analysis)
+        analyze_parsed(project, parsed, Some(&approx.hints), &opts.analysis)
     };
     let dynamic = {
         let _s = aji_obs::span("dynamic");
-        dynamic_call_graph_parsed(project, &parsed, &opts.dynamic_interp).ok_or_else(|| {
+        dynamic_call_graph_parsed(project, parsed, &opts.dynamic_interp).ok_or_else(|| {
             PipelineError::Dynamic("could not construct the concrete interpreter".to_string())
         })?
     };
@@ -268,13 +300,13 @@ pub fn run_oracle(
         EdgeDiff::compute(&baseline.call_graph, &extended.call_graph, &dynamic)
     };
     let missed = triage(
-        &parsed,
+        parsed,
         &approx.hints,
         &approx,
         &extended.call_graph,
         &diff.missed,
     );
-    let spurious = triage_spurious(&parsed, &baseline.call_graph, &diff.spurious);
+    let spurious = triage_spurious(parsed, &baseline.call_graph, &diff.spurious);
     aji_obs::counter_add("oracle.missed_edges", diff.missed.len() as u64);
     aji_obs::counter_add("oracle.spurious_edges", diff.spurious.len() as u64);
     aji_obs::counter_add(

@@ -30,7 +30,8 @@
 //! differential run over the hand-written pattern corpus, the fuzzer by
 //! default); its JSON report is byte-identical across runs and thread
 //! counts. See EXPERIMENTS.md ("Soundness oracle") for how to read the
-//! output.
+//! output, and `DESIGN.md` at the repository root for where the oracle
+//! sits in the system inventory and which guarantees it underwrites.
 //!
 //! # Example
 //!
@@ -55,7 +56,8 @@ pub mod spurious;
 pub mod triage;
 
 pub use diff::{
-    run_oracle, run_oracle_corpus, CorpusOracle, EdgeDiff, OracleOptions, ProjectOracle,
+    run_oracle, run_oracle_corpus, run_oracle_parsed, CorpusOracle, EdgeDiff, OracleOptions,
+    ProjectOracle,
 };
 pub use fuzz::{case_config, case_seed, run_fuzz, Finding, FuzzOptions, FuzzReport, Reproducer};
 pub use spurious::{triage_spurious, SpuriousCause, SpuriousEdge};

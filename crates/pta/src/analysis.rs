@@ -71,6 +71,20 @@ impl AnalysisOptions {
             ..Self::extended()
         }
     }
+
+    /// Folds the rule configuration into `h` as one bit per rule — the
+    /// cache-key contribution the `aji serve` hint store uses so a solved
+    /// call graph is never reused under a different rule set (e.g. an
+    /// `AJI_PTA_ABLATE` ablation run must miss a cache warmed without it).
+    pub fn fingerprint_into(&self, h: &mut aji_support::Fnv64) {
+        let bits = u64::from(self.use_read_hints)
+            | u64::from(self.use_write_hints) << 1
+            | u64::from(self.use_module_hints) << 2
+            | u64::from(self.nonrelational_writes) << 3
+            | u64::from(self.use_proxy_read_hints) << 4
+            | u64::from(rule_ablated("dpw")) << 5;
+        h.write_u64(bits);
+    }
 }
 
 impl Default for AnalysisOptions {

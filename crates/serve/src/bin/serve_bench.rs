@@ -1,0 +1,151 @@
+//! Warm-vs-cold benchmark for the daemon's hint store (PR9 gate).
+//!
+//! Drives an in-process [`aji_serve::Engine`] through the same request
+//! frames the socket protocol carries, over the hand-written pattern
+//! corpus, in three passes:
+//!
+//! 1. **cold** — empty store; every project runs the full pipeline;
+//! 2. **warm** — same requests again; every response must come from the
+//!    response layer, byte-identical to the cold pass;
+//! 3. **hints** — the same projects with `"dynamic": true`: a different
+//!    full fingerprint (response miss) but the same approx fingerprint,
+//!    so the most expensive phase is skipped via the hint layer.
+//!
+//! ```text
+//! serve-bench [--json] [--require-speedup X] [--iters N]
+//! ```
+//!
+//! `--require-speedup X` exits nonzero unless warm is at least `X`×
+//! faster than cold — the acceptance gate (`scripts/check-hermetic.sh`
+//! requires 3×). JSON output feeds `BENCH_pr9_serve.json`; see
+//! BENCHMARKS.md.
+
+use std::time::Instant;
+
+use aji_support::{Json, ToJson};
+
+fn analyze_frame(project: &aji_ast::Project, dynamic: bool) -> Json {
+    let mut pairs = vec![
+        ("op".to_string(), Json::Str("analyze".into())),
+        ("project".to_string(), project.to_json()),
+    ];
+    if dynamic {
+        pairs.push(("dynamic".to_string(), Json::Bool(true)));
+    }
+    Json::Obj(pairs)
+}
+
+/// Runs one pass over the corpus, returning (seconds, response bodies).
+fn pass(
+    engine: &mut aji_serve::Engine,
+    projects: &[aji_ast::Project],
+    dynamic: bool,
+) -> (f64, Vec<String>) {
+    let start = Instant::now();
+    let mut responses = Vec::with_capacity(projects.len());
+    for p in projects {
+        let (resp, _) = engine.handle(&analyze_frame(p, dynamic));
+        assert_eq!(
+            resp.get("ok"),
+            Some(&Json::Bool(true)),
+            "analyze failed for {}: {resp}",
+            p.name
+        );
+        responses.push(resp.to_string());
+    }
+    (start.elapsed().as_secs_f64(), responses)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut require_speedup: Option<f64> = None;
+    let mut iters = 1usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--require-speedup" => {
+                let v = it.next().expect("--require-speedup needs a value");
+                require_speedup = Some(v.parse().expect("--require-speedup needs a number"));
+            }
+            "--iters" => {
+                let v = it.next().expect("--iters needs a value");
+                iters = v.parse().expect("--iters needs an integer");
+            }
+            other => {
+                eprintln!("serve-bench: unknown flag '{other}'");
+                eprintln!("usage: serve-bench [--json] [--require-speedup X] [--iters N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let projects = aji_corpus::pattern_projects();
+    let mut engine = aji_serve::Engine::new(aji_serve::EngineOptions::default());
+
+    let (cold_seconds, cold) = pass(&mut engine, &projects, false);
+
+    // Warm passes (best of `iters`, the conventional bench discipline).
+    let mut warm_seconds = f64::INFINITY;
+    let mut warm = Vec::new();
+    for _ in 0..iters.max(1) {
+        let (secs, responses) = pass(&mut engine, &projects, false);
+        if secs < warm_seconds {
+            warm_seconds = secs;
+        }
+        warm = responses;
+    }
+    let identical = cold == warm;
+    assert!(identical, "warm responses must be byte-identical to cold");
+
+    let (hint_seconds, _) = pass(&mut engine, &projects, true);
+
+    let stats = engine.store().stats();
+    assert_eq!(
+        stats.hint_hits as usize,
+        projects.len(),
+        "every dynamic analyze must reuse cached hints"
+    );
+    let speedup = cold_seconds / warm_seconds.max(1e-9);
+
+    let report = Json::obj(vec![
+        ("bench", Json::Str("pr9_serve".into())),
+        ("projects", projects.len().to_json()),
+        ("cold_seconds", Json::Num(cold_seconds)),
+        ("warm_seconds", Json::Num(warm_seconds)),
+        ("warm_speedup", Json::Num(speedup)),
+        ("hint_reuse_seconds", Json::Num(hint_seconds)),
+        ("responses_identical", Json::Bool(identical)),
+        ("store", stats.to_json()),
+    ]);
+    if json {
+        println!("{report}");
+    } else {
+        println!(
+            "serve-bench: {} projects | cold {:.3}s | warm {:.4}s ({:.0}x) | hint-reuse pass {:.3}s",
+            projects.len(),
+            cold_seconds,
+            warm_seconds,
+            speedup,
+            hint_seconds
+        );
+        println!(
+            "store: parse {}h/{}m | hints {}h/{}m | responses {}h/{}m",
+            stats.parse_hits,
+            stats.parse_misses,
+            stats.hint_hits,
+            stats.hint_misses,
+            stats.response_hits,
+            stats.response_misses
+        );
+    }
+
+    if let Some(min) = require_speedup {
+        if speedup < min {
+            eprintln!("serve-bench: FAIL warm speedup {speedup:.1}x < required {min}x");
+            std::process::exit(1);
+        }
+        eprintln!("serve-bench: OK warm speedup {speedup:.1}x >= {min}x");
+    }
+}

@@ -1,0 +1,208 @@
+//! Module import graph and invalidation cones.
+//!
+//! `invalidate` with a `path` must evict exactly the modules whose
+//! analysis results could depend on the edited file: the file itself plus
+//! everything that (transitively) `require`s it — its **dependency
+//! cone** in the reverse-import graph. This module builds that graph
+//! from parsed ASTs, using the same module-resolution rules as the
+//! points-to solver ([`aji_pta::solver::resolve_module`]), so the daemon and the
+//! analysis never disagree about which file a `require("./lib")` names.
+//!
+//! Only statically-resolvable imports — `require("<literal>")` — become
+//! edges. Dynamic `require(expr)` sites are invisible here, which is
+//! safe for the *store* because every derived layer (hints, responses)
+//! is also keyed by a whole-project content digest: a missed edge can
+//! cost a cache miss, never a stale answer.
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use aji_ast::visit::{walk_expr, Visit};
+use aji_ast::{ast::ExprKind, FileId, Module, Project};
+
+/// Import edges between a project's modules, with a reverse index for
+/// cone queries. Indices are file indices ([`FileId::index`]).
+#[derive(Debug, Clone)]
+pub struct ModuleGraph {
+    /// File paths, in project order (`paths[i]` is `FileId(i)`).
+    paths: Vec<String>,
+    /// `imports[i]` — files that file `i` `require`s.
+    imports: Vec<BTreeSet<usize>>,
+    /// `dependents[i]` — files that `require` file `i` (reverse edges).
+    dependents: Vec<BTreeSet<usize>>,
+}
+
+/// Collects the string arguments of statically-resolvable
+/// `require("<literal>")` calls in one module.
+struct RequireScan {
+    specs: Vec<String>,
+}
+
+impl Visit for RequireScan {
+    fn visit_expr(&mut self, e: &aji_ast::ast::Expr) {
+        if let ExprKind::Call { callee, args, .. } = &e.kind {
+            if let ExprKind::Ident(name) = &callee.kind {
+                if name == "require" && args.len() == 1 && !args[0].spread {
+                    if let ExprKind::Str(spec) = &args[0].expr.kind {
+                        self.specs.push(spec.clone());
+                    }
+                }
+            }
+        }
+        walk_expr(self, e);
+    }
+}
+
+impl ModuleGraph {
+    /// Builds the graph for a parsed project. `modules[i]` must be the
+    /// parse of `project.files[i]`.
+    pub fn build(project: &Project, modules: &[Rc<Module>]) -> ModuleGraph {
+        let paths: Vec<String> = project.files.iter().map(|f| f.path.clone()).collect();
+        let n = paths.len();
+        let mut imports = vec![BTreeSet::new(); n];
+        let mut dependents = vec![BTreeSet::new(); n];
+        for (i, module) in modules.iter().enumerate() {
+            let mut scan = RequireScan { specs: Vec::new() };
+            scan.visit_module(module);
+            for spec in scan.specs {
+                if let Some(target) = aji_pta::solver::resolve_module(&paths, FileId(i as u32), &spec) {
+                    if let Some(j) = paths.iter().position(|p| *p == target) {
+                        if i != j {
+                            imports[i].insert(j);
+                            dependents[j].insert(i);
+                        }
+                    }
+                }
+            }
+        }
+        ModuleGraph {
+            paths,
+            imports,
+            dependents,
+        }
+    }
+
+    /// File paths, in project order.
+    pub fn paths(&self) -> &[String] {
+        &self.paths
+    }
+
+    /// Index of a path, if it names a module of this project.
+    pub fn index_of(&self, path: &str) -> Option<usize> {
+        self.paths.iter().position(|p| p == path)
+    }
+
+    /// Files that file `i` imports (direct edges only).
+    pub fn imports(&self, i: usize) -> &BTreeSet<usize> {
+        &self.imports[i]
+    }
+
+    /// The dependency cone of `path`: the file itself plus every file
+    /// that transitively `require`s it — exactly the set whose cached
+    /// parses an edit to `path` can stale. `None` if the path is not a
+    /// module of this project.
+    pub fn cone(&self, path: &str) -> Option<BTreeSet<usize>> {
+        let start = self.index_of(path)?;
+        let mut cone = BTreeSet::new();
+        let mut work = vec![start];
+        while let Some(i) = work.pop() {
+            if cone.insert(i) {
+                work.extend(self.dependents[i].iter().copied());
+            }
+        }
+        Some(cone)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aji_ast::ProjectFile;
+
+    fn project(files: &[(&str, &str)]) -> Project {
+        Project {
+            name: "graph-test".into(),
+            files: files
+                .iter()
+                .map(|(p, s)| ProjectFile {
+                    path: (*p).to_string(),
+                    src: (*s).to_string(),
+                })
+                .collect(),
+            main: files[0].0.to_string(),
+            test_driver: None,
+            vulns: Vec::new(),
+        }
+    }
+
+    fn build(files: &[(&str, &str)]) -> ModuleGraph {
+        let p = project(files);
+        let parsed = aji_parser::parse_project(&p).expect("parse");
+        ModuleGraph::build(&p, &parsed.modules)
+    }
+
+    #[test]
+    fn direct_requires_become_edges() {
+        let g = build(&[
+            ("main.js", "var a = require('./a'); a.go();"),
+            ("a.js", "module.exports = { go: function() { return 1; } };"),
+        ]);
+        assert_eq!(g.imports(0).iter().copied().collect::<Vec<_>>(), vec![1]);
+        assert!(g.imports(1).is_empty());
+    }
+
+    #[test]
+    fn cone_is_reflexive_and_transitive() {
+        // main -> mid -> leaf: editing leaf stales mid and main.
+        let g = build(&[
+            ("main.js", "var m = require('./mid');"),
+            ("mid.js", "var l = require('./leaf'); module.exports = l;"),
+            ("leaf.js", "module.exports = 1;"),
+        ]);
+        let cone: Vec<usize> = g.cone("leaf.js").unwrap().into_iter().collect();
+        assert_eq!(cone, vec![0, 1, 2]);
+        let mid_cone: Vec<usize> = g.cone("mid.js").unwrap().into_iter().collect();
+        assert_eq!(mid_cone, vec![0, 1]);
+        // Editing main stales only main.
+        assert_eq!(g.cone("main.js").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn cone_handles_require_cycles() {
+        let g = build(&[
+            ("a.js", "var b = require('./b');"),
+            ("b.js", "var a = require('./a');"),
+        ]);
+        assert_eq!(g.cone("a.js").unwrap().len(), 2);
+        assert_eq!(g.cone("b.js").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn dynamic_requires_are_not_edges() {
+        let g = build(&[
+            ("main.js", "var name = './a'; var a = require(name);"),
+            ("a.js", "module.exports = 1;"),
+        ]);
+        assert!(g.imports(0).is_empty());
+        // a.js still has a (trivial) cone: itself.
+        assert_eq!(g.cone("a.js").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unknown_path_has_no_cone() {
+        let g = build(&[("main.js", "var x = 1;")]);
+        assert!(g.cone("nope.js").is_none());
+        assert_eq!(g.index_of("main.js"), Some(0));
+    }
+
+    #[test]
+    fn resolution_matches_solver_suffix_rules() {
+        // require('./lib') resolves to lib/index.js via the solver's
+        // suffix rules; the graph must agree.
+        let g = build(&[
+            ("main.js", "var l = require('./lib');"),
+            ("lib/index.js", "module.exports = 2;"),
+        ]);
+        assert_eq!(g.imports(0).iter().copied().collect::<Vec<_>>(), vec![1]);
+    }
+}

@@ -15,7 +15,13 @@
 //! - [`mod@bench`] — a warmup + timed-iterations micro-benchmark harness with
 //!   median/p95 reporting and JSON output (replaces `criterion`);
 //! - [`par`] — a `std::thread::scope`-based fan-out helper (replaces
-//!   `crossbeam`).
+//!   `crossbeam`);
+//! - [`hash`] — a seeded FNV-1a 64-bit content hasher with a splitmix64
+//!   finalizer, for stable cross-process cache keys (replaces
+//!   `fnv`/`xxhash`);
+//! - [`wire`] — line-delimited JSON framing over byte streams and Unix
+//!   sockets, the `aji serve` daemon's RPC transport (replaces
+//!   `serde_json` + a socket framing crate).
 //!
 //! Policy: shims for missing third-party functionality live in this crate
 //! and nowhere else. `tests/hermetic.rs` at the workspace root fails the
@@ -38,10 +44,13 @@
 
 pub mod bench;
 pub mod check;
+pub mod hash;
 pub mod json;
 pub mod par;
 pub mod rng;
+pub mod wire;
 
 pub use check::{Failure, TestCase};
+pub use hash::Fnv64;
 pub use json::{FromJson, Json, JsonError, ToJson};
 pub use rng::Rng;

@@ -61,4 +61,41 @@ if ./target/release/aji-report --diff BENCH_pr7_bytecode.json target/vm-metrics-
     echo "error: --diff passed a tampered counter"; exit 1
 fi
 
+echo "==> aji-serve daemon smoke (warm = cold byte-identical, invalidate, clean shutdown)"
+SOCK=target/aji-serve-smoke.sock
+STORE=target/aji-serve-smoke-store.json
+rm -f "$SOCK" "$STORE"
+./target/release/aji-serve --socket "$SOCK" --store "$STORE" &
+SERVE_PID=$!
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || { echo "error: daemon socket never appeared"; exit 1; }
+    sleep 0.1
+done
+./target/release/aji-serve --client "$SOCK" --op analyze --name webframe-app > target/serve-cold.json
+./target/release/aji-serve --client "$SOCK" --op analyze --name webframe-app > target/serve-warm.json
+cmp target/serve-cold.json target/serve-warm.json
+./target/release/aji-serve --client "$SOCK" --op invalidate --name webframe-app --path index.js > /dev/null
+./target/release/aji-serve --client "$SOCK" --op analyze --name webframe-app > target/serve-after.json
+cmp target/serve-cold.json target/serve-after.json
+./target/release/aji-serve --client "$SOCK" --op stats > target/serve-stats.json
+grep -q '"response_hits":1' target/serve-stats.json || {
+    echo "error: expected exactly one response-layer hit"; cat target/serve-stats.json; exit 1; }
+grep -q '"response_misses":2' target/serve-stats.json || {
+    echo "error: expected two response-layer misses (cold + post-invalidate)"; cat target/serve-stats.json; exit 1; }
+grep -q '"invalidations":1' target/serve-stats.json || {
+    echo "error: expected one recorded invalidation"; cat target/serve-stats.json; exit 1; }
+./target/release/aji-serve --client "$SOCK" --op shutdown > /dev/null
+wait "$SERVE_PID"
+[ -f "$STORE" ] || { echo "error: shutdown did not persist the hint store"; exit 1; }
+[ ! -S "$SOCK" ] || { echo "error: daemon left its socket behind"; exit 1; }
+
+echo "==> serve-bench warm/cold gate (warm >= 3x faster, responses byte-identical)"
+./target/release/serve-bench --require-speedup 3 --iters 3
+
+echo "==> aji-report --diff serve gate (fresh serve metrics vs committed BENCH_pr9_serve.json)"
+./target/release/serve-bench --json --iters 3 > target/serve-bench.json
+./target/release/aji-report --diff BENCH_pr9_serve.json target/serve-bench.json --tolerance 900
+
 echo "ok: workspace builds, tests, lints and docs clean with no network access"
