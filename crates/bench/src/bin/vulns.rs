@@ -9,20 +9,33 @@
 //! locally — same JSON output; see DAEMON.md); see BENCHMARKS.md.
 
 use aji::PipelineOptions;
-use aji_bench::{collect_reports, corpus_metrics_json, exit_code, run_corpus, CorpusCli};
+use aji_bench::{
+    collect_reports, corpus_metrics_json, daemon_metrics_json, exit_code, run_corpus,
+    run_corpus_daemon, vulns_corpus_json, CorpusCli,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let cli = CorpusCli::from_env("vulns", true);
     let projects = aji_corpus::table1_benchmarks();
     if let Some(socket) = cli.daemon.clone() {
-        return aji_bench::run_daemon_mode(projects, &socket, cli.threads, false);
+        // Same summary wrapper as the local `--json` path, so thin-client
+        // and local machine-readable output stay byte-identical.
+        let results = run_corpus_daemon(projects, &socket, cli.threads, false);
+        let failures = results.iter().filter(|r| r.outcome.is_err()).count();
+        for r in &results {
+            if let Err(e) = &r.outcome {
+                eprintln!("{}: {e}", r.name);
+            }
+        }
+        println!("{}", vulns_corpus_json(&daemon_metrics_json(&results)));
+        return exit_code(failures);
     }
     let results = run_corpus(projects, &PipelineOptions::default(), cli.threads);
 
     if cli.json {
         let failures = results.iter().filter(|r| r.outcome.is_err()).count();
-        println!("{}", corpus_metrics_json(&results));
+        println!("{}", vulns_corpus_json(&corpus_metrics_json(&results)));
         return exit_code(failures);
     }
     let (reports, failures) = collect_reports(results);

@@ -13,7 +13,7 @@
 //! Keys present on only one side are reported as warnings, not failures,
 //! so adding a metric does not break the gate against older history —
 //! with one exception: if an entire **guarded counter family**
-//! (`interp.*`, `oracle.*`) present in the old document has no members at
+//! (`interp.*`, `oracle.*`, `quant.*`) present in the old document has no members at
 //! all in the new one, that is a fatal finding. A single renamed counter
 //! is a rename; a whole family of core-interpreter or oracle counters
 //! going dark means the instrumentation itself was lost (a stripped
@@ -91,7 +91,7 @@ const WALL_MARKERS: &[&str] = &[
 /// a gate failure, not a warning (see module docs). Matched as a prefix
 /// of any `/`-separated path segment, so `obs/counters/interp.steps/value`
 /// and a name-keyed `counters/interp.ic.hits` both count.
-const GUARDED_FAMILIES: &[&str] = &["interp.", "oracle."];
+const GUARDED_FAMILIES: &[&str] = &["interp.", "oracle.", "quant."];
 
 fn in_family(path: &str, family: &str) -> bool {
     path.split('/').any(|seg| seg.starts_with(family))
@@ -383,6 +383,17 @@ mod tests {
         let r = diff_reports(&old, &new, 0.25);
         assert!(!r.passed());
         assert!(r.findings.iter().any(|f| f.fatal && f.path == "oracle.*"));
+    }
+
+    #[test]
+    fn vanished_quant_family_is_fatal() {
+        // Object keys participate like counter names: the `quant.`-prefixed
+        // top-level keys of the aji-quant report form the guarded family.
+        let old = parse(r#"{"quant.ranking": {"missed": 10}, "quant.eval": {"recovered": 9}}"#);
+        let new = parse(r#"{"other": 1}"#);
+        let r = diff_reports(&old, &new, 0.25);
+        assert!(!r.passed());
+        assert!(r.findings.iter().any(|f| f.fatal && f.path == "quant.*"));
     }
 
     #[test]

@@ -286,6 +286,61 @@ pub fn daemon_metrics_json(results: &[ProjectResult<Json, String>]) -> Json {
     )
 }
 
+/// Wraps a per-project metrics array ([`corpus_metrics_json`] or
+/// [`daemon_metrics_json`]) in the §5 vulnerability summary the `vulns`
+/// text report prints: total and reachable vulnerability counts plus
+/// total reachable functions, aggregated from the entries (entries with
+/// an `"error"` field count only toward `failures`). The `vulns --json`
+/// and `vulns --daemon` paths both print this object, so the
+/// machine-readable output carries the same reach totals as the table —
+/// the bare array used to return before computing them.
+#[must_use]
+pub fn vulns_corpus_json(metrics: &Json) -> Json {
+    let empty = Vec::new();
+    let entries = metrics.as_arr().unwrap_or(&empty);
+    let num = |entry: &Json, outer: &str, inner: &str| -> f64 {
+        entry
+            .get(outer)
+            .and_then(|o| o.get(inner))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    let (mut total, mut reach_b, mut reach_x) = (0.0, 0.0, 0.0);
+    let (mut funcs_b, mut funcs_x) = (0.0, 0.0);
+    let mut failures = 0usize;
+    for entry in entries {
+        if entry.get("error").is_some() {
+            failures += 1;
+            continue;
+        }
+        total += num(entry, "vulns", "total");
+        reach_b += num(entry, "vulns", "reachable_baseline");
+        reach_x += num(entry, "vulns", "reachable_extended");
+        funcs_b += num(entry, "baseline", "reachable_functions");
+        funcs_x += num(entry, "extended", "reachable_functions");
+    }
+    Json::obj(vec![
+        ("projects", Json::Num((entries.len() - failures) as f64)),
+        ("failures", Json::Num(failures as f64)),
+        (
+            "vulns",
+            Json::obj(vec![
+                ("total", Json::Num(total)),
+                ("reachable_baseline", Json::Num(reach_b)),
+                ("reachable_extended", Json::Num(reach_x)),
+            ]),
+        ),
+        (
+            "reachable_functions",
+            Json::obj(vec![
+                ("baseline", Json::Num(funcs_b)),
+                ("extended", Json::Num(funcs_x)),
+            ]),
+        ),
+        ("per_project", metrics.clone()),
+    ])
+}
+
 /// The shared `--daemon SOCKET` code path of the experiment binaries:
 /// runs [`run_corpus_daemon`], prints [`daemon_metrics_json`] (the same
 /// deterministic report `--json` prints for a local run), and returns
@@ -471,6 +526,37 @@ mod tests {
 
     fn args(xs: &[&str]) -> Vec<String> {
         xs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn vulns_corpus_json_aggregates_totals_and_skips_failures() {
+        let metrics = Json::parse(
+            r#"[
+              {"name":"a","baseline":{"reachable_functions":7},"extended":{"reachable_functions":25},
+               "vulns":{"total":2,"reachable_baseline":1,"reachable_extended":2}},
+              {"name":"b","error":"boom"},
+              {"name":"c","baseline":{"reachable_functions":3},"extended":{"reachable_functions":4}}
+            ]"#,
+        )
+        .unwrap();
+        let wrapped = vulns_corpus_json(&metrics);
+        assert_eq!(wrapped.get("projects").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(wrapped.get("failures").and_then(Json::as_f64), Some(1.0));
+        let vulns = wrapped.get("vulns").unwrap();
+        assert_eq!(vulns.get("total").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(
+            vulns.get("reachable_baseline").and_then(Json::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            vulns.get("reachable_extended").and_then(Json::as_f64),
+            Some(2.0)
+        );
+        let funcs = wrapped.get("reachable_functions").unwrap();
+        assert_eq!(funcs.get("baseline").and_then(Json::as_f64), Some(10.0));
+        assert_eq!(funcs.get("extended").and_then(Json::as_f64), Some(29.0));
+        // The per-project entries ride along unchanged.
+        assert_eq!(wrapped.get("per_project"), Some(&metrics));
     }
 
     #[test]

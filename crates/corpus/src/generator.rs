@@ -53,6 +53,14 @@ pub struct GenConfig {
     /// installs record dynamic writes during forced execution, exercising
     /// the `H_W` hint path through the property-definition builtin.
     pub accessor_methods: usize,
+    /// Number of property-access **typos** injected into the test driver:
+    /// each one is a static read of a misspelled library method name
+    /// (edit distance 1 from a real method, guaranteed absent from every
+    /// library's API). The injected defects are recorded in the manifest
+    /// [`generate_with_manifest`] returns, which grades the `aji-quant`
+    /// statistical finder. Reads of absent properties yield `undefined`
+    /// without crashing, so the driver's coverage is unchanged.
+    pub typo_injections: usize,
 }
 
 impl GenConfig {
@@ -73,8 +81,23 @@ impl GenConfig {
             hard_dispatch_fraction: 0.0,
             computed_writes: 0,
             accessor_methods: 0,
+            typo_injections: 0,
         }
     }
+}
+
+/// One injected property-access defect: the ground truth the `aji-quant`
+/// anomaly finder is graded against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedTypo {
+    /// File containing the misspelled access (always the test driver).
+    pub path: String,
+    /// Library index whose API object receives the access.
+    pub lib: usize,
+    /// The misspelled property name actually read.
+    pub prop: String,
+    /// The real method name the typo was derived from (edit distance 1).
+    pub original: String,
 }
 
 /// Emits the computed-key and descriptor-based install blocks onto the
@@ -112,9 +135,38 @@ fn emit_dynamic_installs(src: &mut String, cfg: &GenConfig, li: usize, recv: &st
     }
 }
 
+/// Mutates `name` into an edit-distance-1 misspelling: drop, double, or
+/// replace the last character.
+fn mutate_name(rng: &mut Rng, name: &str) -> String {
+    let chars: Vec<char> = name.chars().collect();
+    let last = *chars.last().unwrap_or(&'x');
+    match rng.random_range(0..3usize) {
+        0 if chars.len() > 1 => chars[..chars.len() - 1].iter().collect(),
+        1 => {
+            let mut s = name.to_string();
+            s.push(last);
+            s
+        }
+        _ => {
+            let repl = ['x', 'z', 'q', 'k'][rng.random_range(0..4usize)];
+            let mut s: String = chars[..chars.len() - 1].iter().collect();
+            s.push(if repl == last { 'w' } else { repl });
+            s
+        }
+    }
+}
+
 /// Generates a project from a configuration. Identical configs produce
 /// identical projects.
 pub fn generate(cfg: &GenConfig) -> Project {
+    generate_with_manifest(cfg).0
+}
+
+/// [`generate`] plus the typo manifest: the list of injected
+/// property-access defects ([`GenConfig::typo_injections`]), empty when
+/// the knob is 0. Injection draws from its own seed-derived RNG stream,
+/// so enabling it never perturbs the rest of the project.
+pub fn generate_with_manifest(cfg: &GenConfig) -> (Project, Vec<InjectedTypo>) {
     let mut rng = Rng::seed_from_u64(cfg.seed ^ 0xA11CE);
     let mut p = Project::new(cfg.name.clone());
     p.test_driver = Some("test/driver.js".to_string());
@@ -344,6 +396,61 @@ pub fn generate(cfg: &GenConfig) -> Project {
         let _ = writeln!(driver, "var d{ai} = require('../lib/mod{ai}');");
         let _ = writeln!(driver, "d{ai}.dispatch{ai}('{m}', 'probe');");
     }
+    // Injected property-access typos (the finder's seeded ground truth).
+    // Their own RNG stream keeps everything above byte-identical whether
+    // the knob is 0 or not.
+    let mut typos: Vec<InjectedTypo> = Vec::new();
+    if cfg.typo_injections > 0 && cfg.libs > 0 {
+        let mut trng = Rng::seed_from_u64(cfg.seed ^ 0x7AB0_5EED);
+        for i in 0..cfg.typo_injections {
+            let li = trng.random_range(0..cfg.libs);
+            let (original, _) = lib_methods[li][trng.random_range(0..lib_methods[li].len())].clone();
+            // Every library shares the same method-name space, so one
+            // collision check covers them all.
+            let taken = |name: &str| {
+                lib_methods.iter().any(|ms| ms.iter().any(|(m, _)| m == name))
+                    || name == "snapshot"
+                    || typos.iter().any(|t| t.prop == name)
+            };
+            let mut prop = mutate_name(&mut trng, &original);
+            if taken(&prop) {
+                // Stay at edit distance 1: exhaust the other single-edit
+                // mutations before the unbounded (distance-growing)
+                // fallback, which only a pathological method namespace
+                // can reach.
+                let chars: Vec<char> = original.chars().collect();
+                let stem: String = chars[..chars.len() - 1].iter().collect();
+                let mut alts = vec![stem.clone(), format!("{original}{}", chars[chars.len() - 1])];
+                for ch in ['x', 'z', 'q', 'k', 'w'] {
+                    alts.push(format!("{original}{ch}"));
+                    alts.push(format!("{stem}{ch}"));
+                }
+                if let Some(alt) = alts
+                    .into_iter()
+                    .find(|a| !a.is_empty() && a != &original && !taken(a))
+                {
+                    prop = alt;
+                }
+                while taken(&prop) {
+                    prop.push('x');
+                }
+            }
+            let _ = writeln!(driver, "var tq{i} = require('lib{li}');");
+            let recv = if cfg.use_mixin {
+                let _ = writeln!(driver, "var tr{i} = tq{i}();");
+                format!("tr{i}")
+            } else {
+                format!("tq{i}")
+            };
+            let _ = writeln!(driver, "var typo{i} = {recv}.{prop};");
+            typos.push(InjectedTypo {
+                path: "test/driver.js".to_string(),
+                lib: li,
+                prop,
+                original,
+            });
+        }
+    }
     p.add_file("test/driver.js", driver);
 
     // Vulnerability annotations on library track helpers.
@@ -354,7 +461,7 @@ pub fn generate(cfg: &GenConfig) -> Project {
             format!("track{vi}"),
         );
     }
-    p
+    (p, typos)
 }
 
 /// The deterministic configurations of the generated share of the
@@ -395,6 +502,9 @@ pub fn population_configs(count: usize, base_seed: u64) -> Vec<GenConfig> {
                 },
                 computed_writes: wrng.random_range(0..3),
                 accessor_methods: wrng.random_range(0..3),
+                // Population projects carry no seeded defects; aji-quant
+                // sets the knob explicitly on its evaluation corpus.
+                typo_injections: 0,
             }
         })
         .collect()
@@ -520,6 +630,70 @@ mod tests {
             cfgs.iter().any(|c| c.accessor_methods > 0),
             "some configs must exercise descriptors"
         );
+    }
+
+    #[test]
+    fn typo_injection_records_manifest_and_parses() {
+        for mixin in [false, true] {
+            let mut cfg = GenConfig::small("typo", 21);
+            cfg.typo_injections = 3;
+            cfg.use_mixin = mixin;
+            let (p, typos) = generate_with_manifest(&cfg);
+            aji_parser::parse_project(&p).unwrap();
+            assert_eq!(typos.len(), 3, "mixin={mixin}");
+            let driver = p.file("test/driver.js").unwrap();
+            for t in &typos {
+                assert_eq!(t.path, "test/driver.js");
+                // The misspelling is read in the driver…
+                assert!(
+                    driver.src.contains(&format!(".{};", t.prop)),
+                    "driver must read {}:\n{}",
+                    t.prop,
+                    driver.src
+                );
+                // …and absent from every library source (the real method
+                // is present in the typo'd library).
+                for li in 0..cfg.libs {
+                    let lib = p.file(&format!("node_modules/lib{li}/index.js")).unwrap();
+                    assert!(
+                        !lib.src.contains(&format!("'{}'", t.prop))
+                            && !lib.src.contains(&format!(".{} ", t.prop)),
+                        "typo {} leaked into lib{li}",
+                        t.prop
+                    );
+                }
+                assert_ne!(t.prop, t.original);
+                assert!(p
+                    .file(&format!("node_modules/lib{}/index.js", t.lib))
+                    .unwrap()
+                    .src
+                    .contains(&t.original));
+            }
+            // Deterministic: same config, same manifest and bytes.
+            let (p2, typos2) = generate_with_manifest(&cfg);
+            assert_eq!(typos, typos2);
+            assert_eq!(driver.src, p2.file("test/driver.js").unwrap().src);
+        }
+    }
+
+    #[test]
+    fn typo_knob_off_leaves_project_untouched() {
+        let cfg = GenConfig::small("typo-off", 21);
+        let mut on = cfg.clone();
+        on.typo_injections = 2;
+        let base = generate(&cfg);
+        let (seeded, typos) = generate_with_manifest(&on);
+        assert_eq!(typos.len(), 2);
+        // Every file except the driver is byte-identical; the driver only
+        // gains the appended typo reads.
+        for f in &base.files {
+            let other = seeded.file(&f.path).unwrap();
+            if f.path == "test/driver.js" {
+                assert!(other.src.starts_with(&f.src), "typo reads must append");
+            } else {
+                assert_eq!(f.src, other.src, "{} must be unchanged", f.path);
+            }
+        }
     }
 
     #[test]

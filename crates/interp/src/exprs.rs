@@ -618,7 +618,13 @@ impl Interp {
         scope: &ScopeRef,
     ) -> Result<Value, JsError> {
         match prop {
-            MemberProp::Static(name) => self.get_property(base.clone(), name, None),
+            MemberProp::Static(name) => {
+                if self.opts.observe_props {
+                    let site = self.static_loc(member.span);
+                    self.observe_prop_access(site, base, name);
+                }
+                self.get_property(base.clone(), name, None)
+            }
             MemberProp::Computed(kexpr) => {
                 let kv = self.eval_expr(kexpr, scope)?;
                 let op_loc = self.static_loc(member.span);
@@ -651,6 +657,9 @@ impl Interp {
                     self.tracer.on_proxy_base_read(op_loc, &key);
                 }
             }
+        }
+        if self.opts.observe_props && matches!(kv, Value::Str(_)) {
+            self.observe_prop_access(op_loc, base, &key);
         }
         let result = self.get_property(base.clone(), &key, op_loc)?;
         if let Some(op_loc) = op_loc {

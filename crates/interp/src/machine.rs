@@ -39,6 +39,13 @@ pub struct InterpOptions {
     /// identical — same steps, tracer events and budgets — just faster;
     /// disable to force the tree-walker (differential testing).
     pub use_vm: bool,
+    /// Emit [`crate::Tracer::on_prop_access`] events for *static* member
+    /// reads (and string-keyed computed reads) on plain objects — the feed
+    /// of the `aji-quant` statistical property-access finder. Off by
+    /// default: the event carries the receiver's own-key shape, which the
+    /// VM's inline-cache hit path cannot reconstruct, so turning this on
+    /// forces the tree-walker for function bodies (`use_vm` is ignored).
+    pub observe_props: bool,
 }
 
 impl Default for InterpOptions {
@@ -49,6 +56,7 @@ impl Default for InterpOptions {
             max_stack: 64,
             max_loop_iters: 500_000,
             use_vm: true,
+            observe_props: false,
         }
     }
 }
@@ -63,6 +71,7 @@ impl InterpOptions {
             max_stack: 48,
             max_loop_iters: 10_000,
             use_vm: true,
+            observe_props: false,
         }
     }
 
@@ -73,7 +82,9 @@ impl InterpOptions {
     /// `use_vm` is deliberately **excluded**: the bytecode VM is
     /// observationally identical to the tree-walker (pinned by
     /// `tests/bytecode_differential.rs`), so both engines may share cache
-    /// entries.
+    /// entries. `observe_props` is excluded for the same reason — it adds
+    /// tracer events but never changes a computed result, so an observing
+    /// run may reuse cached analysis answers.
     pub fn fingerprint_into(&self, h: &mut aji_support::Fnv64) {
         h.write_u64(u64::from(self.approx));
         h.write_u64(self.max_steps);
@@ -874,7 +885,10 @@ impl Interp {
         // `var`/`let` names) are folded into the chunk's slot layout, and
         // functions whose hoist would be observable (nested function or
         // class declarations) bail out of compilation.
-        if self.opts.use_vm {
+        // `observe_props` needs the receiver shape at every static member
+        // read; the VM's inline-cache hit path skips `get_property`
+        // entirely, so observing runs stay on the tree-walker.
+        if self.opts.use_vm && !self.opts.observe_props {
             if let Some(code) = self.vm_code(&def) {
                 return self.run_vm(&code, &scope);
             }

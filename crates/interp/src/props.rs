@@ -117,6 +117,25 @@ impl Interp {
         }
     }
 
+    /// Reports one property access to the tracer when
+    /// [`crate::InterpOptions::observe_props`] is on: the receiver's
+    /// own-key shape plus whether the lookup would find `name` anywhere on
+    /// the prototype chain. Only plain objects report — proxies, §3
+    /// receiver wrappers and sandbox mocks answer every key by design, so
+    /// a "miss" on them is a modeling artifact, not program behavior.
+    pub(crate) fn observe_prop_access(&mut self, site: Option<Loc>, base: &Value, name: &str) {
+        let Some(id) = base.as_obj() else { return };
+        if matches!(self.heap.get(id).kind, ObjKind::Proxy)
+            || self.heap.own_prop(id, "__mock__").is_some()
+            || self.heap.lookup(id, "__proxy_fallback__").is_some()
+        {
+            return;
+        }
+        let found = self.heap.lookup(id, name).is_some();
+        let shape = self.heap.own_keys(id);
+        self.tracer.on_prop_access(site, name, &shape, found);
+    }
+
     fn proto_lookup(&mut self, proto: crate::value::ObjId, this: Value, key: &str) -> Result<Value, JsError> {
         match self.heap.lookup(proto, key) {
             Some((Prop { value, .. }, _)) => match value {

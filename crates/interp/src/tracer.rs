@@ -54,6 +54,23 @@ pub trait Tracer {
     /// `require(name)` was evaluated at `site`, resolving to `resolved`
     /// (a project file path) if resolution succeeded.
     fn on_require(&mut self, _site: Loc, _name: &str, _resolved: Option<&str>) {}
+
+    /// A property read of `prop` on a plain object whose own keys are
+    /// `shape` (insertion order; observers canonicalize); `found` says
+    /// whether the lookup (own or inherited) produced a property. Emitted
+    /// for static member reads and string-keyed computed reads **only
+    /// when** [`crate::InterpOptions::observe_props`] is on — the feed of
+    /// the `aji-quant` statistical property-access finder. Proxies, §3
+    /// receiver wrappers and sandbox mocks never report (their misses are
+    /// modeling artifacts, not program behavior).
+    fn on_prop_access(
+        &mut self,
+        _site: Option<Loc>,
+        _prop: &str,
+        _shape: &[std::rc::Rc<str>],
+        _found: bool,
+    ) {
+    }
 }
 
 impl<T: Tracer> Tracer for std::rc::Rc<std::cell::RefCell<T>> {
@@ -89,6 +106,15 @@ impl<T: Tracer> Tracer for std::rc::Rc<std::cell::RefCell<T>> {
     }
     fn on_require(&mut self, site: Loc, name: &str, resolved: Option<&str>) {
         self.borrow_mut().on_require(site, name, resolved);
+    }
+    fn on_prop_access(
+        &mut self,
+        site: Option<Loc>,
+        prop: &str,
+        shape: &[std::rc::Rc<str>],
+        found: bool,
+    ) {
+        self.borrow_mut().on_prop_access(site, prop, shape, found);
     }
 }
 

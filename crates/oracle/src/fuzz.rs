@@ -103,6 +103,9 @@ pub fn case_config(tc: &mut TestCase, case: usize) -> GenConfig {
         hard_dispatch_fraction: if tc.bool() { 0.3 } else { 0.0 },
         computed_writes: tc.int_in(0..4),
         accessor_methods: tc.int_in(0..3),
+        // The fuzzer hunts unsoundness in call-graph recovery; seeded
+        // property typos are the finder's concern, not the fuzzer's.
+        typo_injections: 0,
     }
 }
 

@@ -98,4 +98,14 @@ echo "==> aji-report --diff serve gate (fresh serve metrics vs committed BENCH_p
 ./target/release/serve-bench --json --iters 3 > target/serve-bench.json
 ./target/release/aji-report --diff BENCH_pr9_serve.json target/serve-bench.json --tolerance 900
 
+echo "==> aji-quant determinism (threads 1 vs 4 + rerun, byte-identical)"
+./target/release/aji-quant --json --threads 1 > target/quant-t1.json
+./target/release/aji-quant --json --threads 4 > target/quant-t4.json
+cmp target/quant-t1.json target/quant-t4.json
+./target/release/aji-quant --json --threads 1 > target/quant-rerun.json
+cmp target/quant-t1.json target/quant-rerun.json
+
+echo "==> aji-report --diff quant gate (fresh quant report vs committed BENCH_pr10_quant.json)"
+./target/release/aji-report --diff BENCH_pr10_quant.json target/quant-t1.json
+
 echo "ok: workspace builds, tests, lints and docs clean with no network access"

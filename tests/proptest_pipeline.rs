@@ -28,6 +28,9 @@ fn config(tc: &mut TestCase) -> GenConfig {
         hard_dispatch_fraction: tc.int_in(0u8..6) as f64 / 10.0,
         computed_writes: tc.int_in(0usize..3),
         accessor_methods: tc.int_in(0usize..3),
+        // The monotonicity properties are about call-graph recovery;
+        // seeded property typos are the finder's concern (aji-quant).
+        typo_injections: 0,
     }
 }
 
